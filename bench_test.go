@@ -1,0 +1,214 @@
+package mugi
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index), plus the
+// design-choice ablations and kernel-level micro-benchmarks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigXX/BenchmarkTable3 target regenerates the corresponding
+// artifact through internal/experiments; the rendered rows are written once
+// per run via b.Log at -v, and the wall time measures the full
+// regeneration cost (the paper's artifact takes 0.5-1 h; this is seconds).
+
+import (
+	"math/rand"
+	"testing"
+
+	"mugi/internal/core"
+	"mugi/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = e.Run().String()
+	}
+	if len(out) < 100 {
+		b.Fatalf("%s produced no output", id)
+	}
+}
+
+// BenchmarkFig04Distributions regenerates the input value/exponent
+// distribution profiles (paper Fig. 4).
+func BenchmarkFig04Distributions(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig06AccuracyHeatmaps regenerates the perplexity/loss heatmaps
+// across approximation configurations (paper Fig. 6).
+func BenchmarkFig06AccuracyHeatmaps(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig07PerLayerTuning regenerates the Llama-2 per-layer window
+// tuning curves (paper Fig. 7).
+func BenchmarkFig07PerLayerTuning(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig08RelativeError regenerates the relative-error curves of the
+// best configurations (paper Fig. 8).
+func BenchmarkFig08RelativeError(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig11NonlinearIsoArea regenerates the iso-area nonlinear
+// throughput/energy/power comparison (paper Fig. 11).
+func BenchmarkFig11NonlinearIsoArea(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12GEMMIsoArea regenerates the per-class GEMM comparison
+// (paper Fig. 12).
+func BenchmarkFig12GEMMIsoArea(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable3EndToEnd regenerates the end-to-end single-node/scaled/NoC
+// comparison on Llama-2 70B GQA (paper Table 3).
+func BenchmarkTable3EndToEnd(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkFig13Breakdown regenerates the array and NoC area/power
+// breakdown (paper Fig. 13).
+func BenchmarkFig13Breakdown(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14BatchSweep regenerates the batch-size sweep (paper Fig. 14).
+func BenchmarkFig14BatchSweep(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15Carbon regenerates the operational/embodied carbon
+// comparison (paper Fig. 15).
+func BenchmarkFig15Carbon(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16LatencyBreakdown regenerates the end-to-end latency
+// breakdown (paper Fig. 16).
+func BenchmarkFig16LatencyBreakdown(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17NoC regenerates the NoC-level comparison (paper Fig. 17).
+func BenchmarkFig17NoC(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkAblations runs the design-choice ablation suite (mapping,
+// buffers, sliding window, shared array) from DESIGN.md §6.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// ---- Ablation micro-benchmarks ----
+
+// BenchmarkAblationMapping compares the cycle model of the Mugi transposed
+// mapping against the Carat BF16 row mapping on a decode-shaped GEMM.
+func BenchmarkAblationMapping(b *testing.B) {
+	for _, m := range []struct {
+		name    string
+		mapping core.Mapping
+	}{{"mugi", MappingMugi}, {"carat-bf16", MappingCaratBF16}} {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := GEMMConfig{Rows: 128, Cols: 8, Mapping: m.mapping}
+			rng := rand.New(rand.NewSource(1))
+			a := NewMatrix(8, 256)
+			w := NewMatrix(256, 512)
+			for i := range a.Data {
+				a.Data[i] = float32(rng.NormFloat64())
+			}
+			for i := range w.Data {
+				w.Data[i] = float32(rng.NormFloat64() * 0.3)
+			}
+			q := QuantizeWeights(w, 4, 128)
+			b.ResetTimer()
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				_, st := Multiply(cfg, a, q)
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "array-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBuffers reports the Mugi vs Carat buffer area.
+func BenchmarkAblationBuffers(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		m := NewMugi(256).Area(Cost45nm)
+		c := NewCarat(256).Area(Cost45nm)
+		ratio = c.FIFO / m.FIFO
+	}
+	b.ReportMetric(ratio, "carat/mugi-buffer-area")
+}
+
+// BenchmarkAblationSlidingWindow measures the VLP approximation with and
+// without sliding-window selection on concentrated inputs.
+func BenchmarkAblationSlidingWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = -float64(rng.ExpFloat64()*2) - 0.1
+	}
+	dst := make([]float64, len(xs))
+	for _, mode := range []string{"sliding", "fixed"} {
+		b.Run(mode, func(b *testing.B) {
+			a := NewApprox(ApproxConfig{Op: Exp, LUTEMin: -12, LUTEMax: 6})
+			if mode == "sliding" {
+				a.SelectWindowMass(xs)
+			} else {
+				a.SetWindow(-12)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.ApproxBatch(dst, xs, 256)
+			}
+		})
+	}
+}
+
+// ---- Kernel micro-benchmarks ----
+
+// BenchmarkVLPApproxElement measures the per-element cost of the
+// functional VLP approximation path.
+func BenchmarkVLPApproxElement(b *testing.B) {
+	a := NewApprox(ApproxConfig{Op: Exp, LUTEMin: -8, LUTEMax: 4})
+	x := -1.37
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = a.Approx(x)
+	}
+	_ = v
+}
+
+// BenchmarkVLPSoftmaxRow measures a full VLP softmax over one attention
+// score row.
+func BenchmarkVLPSoftmaxRow(b *testing.B) {
+	a := NewApprox(ApproxConfig{Op: Exp, LUTEMin: -8, LUTEMax: 4})
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 2
+	}
+	dst := make([]float64, len(xs))
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Softmax(dst, xs)
+	}
+}
+
+// BenchmarkVLPGEMM measures the functional VLP GEMM engine.
+func BenchmarkVLPGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewMatrix(8, 512)
+	w := NewMatrix(512, 512)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	q := QuantizeWeights(w, 4, 128)
+	cfg := GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}
+	b.SetBytes(int64(8 * 512 * 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Multiply(cfg, a, q)
+	}
+}
+
+// BenchmarkSimulateDecode measures one full simulator pass (the unit of
+// every Fig. 12-17 sweep).
+func BenchmarkSimulateDecode(b *testing.B) {
+	w := Llama2_70B_GQA.DecodeOps(8, 4096)
+	d := NewMugi(256)
+	for i := 0; i < b.N; i++ {
+		Simulate(SimParams{Design: d}, w)
+	}
+}

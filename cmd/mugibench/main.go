@@ -1,0 +1,61 @@
+// Command mugibench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	mugibench -exp all        # every artifact in paper order
+//	mugibench -exp tab3       # one artifact
+//	mugibench -list           # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mugi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := func(e experiments.Entry) {
+		out := e.Run().String()
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mugibench:", err)
+	os.Exit(1)
+}

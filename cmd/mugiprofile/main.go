@@ -1,0 +1,112 @@
+// Command mugiprofile generates the synthetic workload distributions that
+// substitute the paper's GPU profiling (Fig. 4): per model family and
+// nonlinear op, it prints the value histogram, the exponent histogram, and
+// the dominant 8-wide exponent window the sliding-window LUT would target.
+//
+// Usage:
+//
+//	mugiprofile -family "Llama 2" -op softmax -depth 0.5 -n 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"mugi/internal/dist"
+	"mugi/internal/nonlinear"
+)
+
+func main() {
+	family := flag.String("family", "Llama 2", "model family: Llama 2 | Whisper | SwinV2 | ViViT")
+	opName := flag.String("op", "softmax", "nonlinear op: softmax | silu | gelu")
+	depth := flag.Float64("depth", 0.5, "normalized layer depth in [0,1]")
+	n := flag.Int("n", 1<<16, "sample count")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	op, err := parseOp(*opName)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := dist.ProfileFor(dist.Family(*family), op)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var xs []float64
+	if op == nonlinear.Exp {
+		for len(xs) < *n {
+			xs = append(xs, prof.SoftmaxInputs(rng, *depth, 128)...)
+		}
+	} else {
+		xs = prof.ActivationInputs(rng, *depth, *n)
+	}
+
+	fmt.Printf("%s %v at depth %.2f: %d samples\n", *family, op, *depth, len(xs))
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Println("\nvalue histogram:")
+	centers, density := dist.ValueHistogram(xs, lo, hi, 24)
+	maxD := 0.0
+	for _, d := range density {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	for i := range centers {
+		bar := ""
+		if maxD > 0 {
+			bar = strings.Repeat("#", int(density[i]/maxD*50))
+		}
+		fmt.Printf("%9.2f | %s\n", centers[i], bar)
+	}
+
+	var nz []float64
+	for _, x := range xs {
+		if x != 0 {
+			nz = append(nz, x)
+		}
+	}
+	hist := dist.ExponentHistogram(nz, -24)
+	fmt.Println("\nexponent histogram:")
+	for e := -24; e <= 8; e++ {
+		if hist[e] == 0 {
+			continue
+		}
+		fmt.Printf("  2^%-4d %6.2f%% %s\n", e, hist[e]*100, strings.Repeat("#", int(hist[e]*200)))
+	}
+	wlo, mass := dist.DominantWindow(hist, 8)
+	fmt.Printf("\ndominant 8-wide exponent window: [%d, %d] covering %.1f%% of mass\n",
+		wlo, wlo+7, mass*100)
+}
+
+func parseOp(s string) (nonlinear.Op, error) {
+	switch strings.ToLower(s) {
+	case "softmax", "exp", "sm":
+		return nonlinear.Exp, nil
+	case "silu", "s":
+		return nonlinear.SiLU, nil
+	case "gelu", "g":
+		return nonlinear.GELU, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mugiprofile:", err)
+	os.Exit(1)
+}

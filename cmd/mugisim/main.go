@@ -1,0 +1,109 @@
+// Command mugisim runs a single architecture simulation: one design, one
+// model workload, one mesh, and prints the Table-3 style metrics plus the
+// latency breakdown.
+//
+// Usage:
+//
+//	mugisim -design mugi -rows 256 -model "Llama 2 70B (GQA)" -batch 8 -seq 4096
+//	mugisim -design sa -rows 16 -mesh 4x4 -model "Llama 2 7B"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mugi/internal/arch"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/sim"
+)
+
+func main() {
+	design := flag.String("design", "mugi", "design: mugi|mugil|carat|sa|saf|sd|sdf|tensor")
+	rows := flag.Int("rows", 256, "array height (VLP) or dimension (SA/SD)")
+	meshStr := flag.String("mesh", "1x1", "NoC mesh, e.g. 1x1 or 4x4")
+	modelName := flag.String("model", "Llama 2 70B (GQA)", "model name (see Table 1)")
+	batch := flag.Int("batch", 8, "batch size")
+	seq := flag.Int("seq", 4096, "context/sequence length")
+	prefill := flag.Bool("prefill", false, "simulate prefill instead of decode")
+	flag.Parse()
+
+	d, err := buildDesign(*design, *rows)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	mesh, err := parseMesh(*meshStr)
+	if err != nil {
+		fatal(err)
+	}
+	var w model.Workload
+	if *prefill {
+		w = m.PrefillOps(*batch, *seq)
+	} else {
+		w = m.DecodeOps(*batch, *seq)
+	}
+	res := sim.Simulate(sim.Params{Design: d, Mesh: mesh}, w)
+	tokens := w.TokensPerPass()
+
+	fmt.Printf("design        %s  mesh %s\n", d.Name, mesh)
+	fmt.Printf("workload      %s batch %d seq %d (decode=%v)\n", m.Name, *batch, *seq, w.Decode)
+	fmt.Printf("throughput    %.3f tokens/s\n", res.TokensPerSecond)
+	fmt.Printf("latency       %.4f s (compute %.4f, memory %.4f)\n", res.Seconds, res.ComputeSeconds, res.MemorySeconds)
+	fmt.Printf("utilization   %.1f%%\n", res.Utilization*100)
+	fmt.Printf("energy        %.4f J/pass  (%.2f mJ/token)\n", res.DynamicEnergy, res.EnergyPerToken(tokens)*1e3)
+	fmt.Printf("power         %.3f W (leakage %.3f W)\n", res.PowerWatts, res.LeakageWatts)
+	fmt.Printf("efficiency    %.2f tokens/J  %.3f tokens/s/W\n", res.TokensPerJoule(tokens), res.TokensPerSecondPerWatt())
+	fmt.Printf("DRAM traffic  %.2f GB/pass\n", float64(res.DRAMBytes)/1e9)
+	area := d.Area(arch.Cost45nm)
+	fmt.Printf("area          %.2f mm2 (array %.2f, SRAM %.2f)\n", area.Total(), area.ArrayTotal(), area.SRAM)
+	fmt.Println("latency breakdown (array cycles):")
+	for _, cls := range []model.OpClass{model.Projection, model.Attention, model.FFN, model.Nonlinear} {
+		fmt.Printf("  %-10v %14.0f (%.1f%%)\n", cls, res.CyclesByClass[cls],
+			res.CyclesByClass[cls]/res.TotalCycles*100)
+	}
+}
+
+func buildDesign(kind string, rows int) (arch.Design, error) {
+	switch strings.ToLower(kind) {
+	case "mugi":
+		return arch.Mugi(rows), nil
+	case "mugil", "mugi-l":
+		return arch.MugiL(rows), nil
+	case "carat":
+		return arch.Carat(rows), nil
+	case "sa":
+		return arch.SystolicArray(rows, false), nil
+	case "saf", "sa-f":
+		return arch.SystolicArray(rows, true), nil
+	case "sd":
+		return arch.SIMDArray(rows, false), nil
+	case "sdf", "sd-f":
+		return arch.SIMDArray(rows, true), nil
+	case "tensor":
+		return arch.TensorCore(), nil
+	default:
+		return arch.Design{}, fmt.Errorf("unknown design %q", kind)
+	}
+}
+
+func parseMesh(s string) (noc.Mesh, error) {
+	var r, c int
+	if _, err := fmt.Sscanf(s, "%dx%d", &r, &c); err != nil {
+		return noc.Mesh{}, fmt.Errorf("bad mesh %q (want RxC)", s)
+	}
+	if r < 1 || c < 1 {
+		return noc.Mesh{}, fmt.Errorf("bad mesh %q", s)
+	}
+	return noc.NewMesh(r, c), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mugisim:", err)
+	os.Exit(1)
+}

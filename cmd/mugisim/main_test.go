@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestBuildDesign(t *testing.T) {
+	cases := []struct {
+		kind string
+		rows int
+		want string
+	}{
+		{"mugi", 128, "Mugi (128)"},
+		{"MUGI", 64, "Mugi (64)"},
+		{"mugil", 128, "Mugi-L (128)"},
+		{"mugi-l", 128, "Mugi-L (128)"},
+		{"carat", 256, "Carat (256)"},
+		{"sa", 16, "SA (16)"},
+		{"saf", 16, "SA-F (16)"},
+		{"sa-f", 16, "SA-F (16)"},
+		{"sd", 16, "SD (16)"},
+		{"sdf", 16, "SD-F (16)"},
+		{"tensor", 0, "Tensor"},
+	}
+	for _, c := range cases {
+		d, err := buildDesign(c.kind, c.rows)
+		if err != nil || d.Name != c.want {
+			t.Errorf("buildDesign(%q, %d) = %q, %v", c.kind, c.rows, d.Name, err)
+		}
+	}
+	if _, err := buildDesign("tpu", 8); err == nil {
+		t.Error("unknown design should error")
+	}
+}
+
+func TestParseMesh(t *testing.T) {
+	m, err := parseMesh("4x4")
+	if err != nil || m.Nodes() != 16 {
+		t.Errorf("parseMesh(4x4): %v %v", m, err)
+	}
+	m, err = parseMesh("2x1")
+	if err != nil || m.Nodes() != 2 {
+		t.Errorf("parseMesh(2x1): %v %v", m, err)
+	}
+	for _, bad := range []string{"", "4", "ax4", "0x4", "-1x2"} {
+		if _, err := parseMesh(bad); err == nil {
+			t.Errorf("parseMesh(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package mugi_test
+
+import (
+	"fmt"
+
+	"mugi"
+)
+
+// ExampleApprox demonstrates VLP softmax against the exact reference.
+func ExampleApprox() {
+	ap := mugi.NewApprox(mugi.ApproxConfig{Op: mugi.Exp, LUTEMin: -6, LUTEMax: 5})
+	logits := []float64{1.0, 0.0, -1.0, -2.0}
+	probs := make([]float64, len(logits))
+	ap.Softmax(probs, logits)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	fmt.Printf("sum=%.6f argmax=%d\n", sum, argmax(probs))
+	// Output: sum=1.000000 argmax=0
+}
+
+// ExampleMultiply demonstrates the multiplier-free BF16-INT4 GEMM.
+func ExampleMultiply() {
+	acts := mugi.NewMatrix(1, 4)
+	copy(acts.Data, []float32{1, 2, 3, 4})
+	w := mugi.NewMatrix(4, 2)
+	copy(w.Data, []float32{1, 0, 0, 1, 1, 1, -1, 0})
+	wq := mugi.QuantizeWeights(w, 4, 4)
+	out, stats := mugi.Multiply(mugi.GEMMConfig{Rows: 8, Cols: 8, Mapping: mugi.MappingMugi}, acts, wq)
+	fmt.Printf("out=[%.0f %.0f] window=%d cycles\n", out.At(0, 0), out.At(0, 1), stats.WindowCycles)
+	// Output: out=[0 5] window=8 cycles
+}
+
+// ExampleSimulate runs one Table-3 style simulation point.
+func ExampleSimulate() {
+	w := mugi.Llama2_70B_GQA.DecodeOps(8, 4096)
+	r := mugi.Simulate(mugi.SimParams{Design: mugi.NewMugi(256)}, w)
+	fmt.Printf("compute-bound=%v utilization>90%%=%v\n",
+		r.ComputeSeconds > r.MemorySeconds, r.Utilization > 0.9)
+	// Output: compute-bound=true utilization>90%=true
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,50 @@
+// kv-decode runs the functional integration engine: a small transformer
+// decoder executing the complete Mugi operator stack — INT4 WOQ weights on
+// the VLP array, a KVQ INT4 quantized KV cache with grouped-query
+// attention, VLP softmax, VLP SiLU, and RoPE through VLP sine/cosine —
+// side by side with the exact floating-point stack.
+package main
+
+import (
+	"fmt"
+
+	"mugi/internal/infer"
+	"mugi/internal/nonlinear"
+)
+
+func main() {
+	cfg := infer.Config{
+		Layers: 2, Heads: 4, KVHeads: 2, Dim: 32, FFN: 64,
+		Vocab: 64, MaxSeq: 128, RoPE: true,
+		Activation: nonlinear.SiLU, Seed: 2026,
+	}
+	prompt := []int{11, 29, 7, 51}
+
+	exact, err := infer.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	wantTokens, err := exact.Generate(prompt, 16, infer.ExactOps(cfg.Activation))
+	if err != nil {
+		panic(err)
+	}
+
+	vlp, _ := infer.New(cfg)
+	gotTokens, err := vlp.Generate(prompt, 16, infer.VLPOps(cfg.Activation))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("decoder: %d layers, %d heads (%d KV heads, GQA group %d), dim %d, RoPE on\n",
+		cfg.Layers, cfg.Heads, cfg.KVHeads, cfg.Group(), cfg.Dim)
+	fmt.Printf("prompt:  %v\n\n", prompt)
+	fmt.Printf("exact stack: %v\n", wantTokens)
+	fmt.Printf("VLP stack:   %v\n", gotTokens)
+	match := 0
+	for i := range wantTokens {
+		if wantTokens[i] == gotTokens[i] {
+			match++
+		}
+	}
+	fmt.Printf("greedy agreement: %d/%d tokens\n", match, len(wantTokens))
+}

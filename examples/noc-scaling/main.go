@@ -1,0 +1,38 @@
+// noc-scaling sweeps NoC mesh sizes for Mugi and the tensor-core baseline,
+// showing the linear compute scaling of output-stationary tiling and where
+// the 256 GB/s HBM eventually binds (paper §6.3.3, Fig. 17).
+package main
+
+import (
+	"fmt"
+
+	"mugi"
+)
+
+func main() {
+	w := mugi.Llama2_70B_GQA.DecodeOps(8, 4096)
+	meshes := []mugi.Mesh{
+		mugi.SingleNode,
+		mugi.NewMesh(2, 2),
+		mugi.NewMesh(4, 4),
+		mugi.NewMesh(8, 8),
+	}
+	fmt.Println("Mugi(256) across mesh sizes, Llama-2 70B GQA decode:")
+	fmt.Printf("%-6s %12s %14s %14s %12s\n", "mesh", "tokens/s", "compute s", "memory s", "bound")
+	for _, mesh := range meshes {
+		r := mugi.Simulate(mugi.SimParams{Design: mugi.NewMugi(256), Mesh: mesh}, w)
+		bound := "compute"
+		if r.MemorySeconds >= r.ComputeSeconds {
+			bound = "memory"
+		}
+		fmt.Printf("%-6s %12.2f %14.4f %14.4f %12s\n",
+			mesh, r.TokensPerSecond, r.ComputeSeconds, r.MemorySeconds, bound)
+	}
+
+	fmt.Println("\ntensor-core scaling (paper's 2x1 / 2x2 configurations):")
+	for _, mesh := range []mugi.Mesh{mugi.SingleNode, mugi.NewMesh(2, 1), mugi.NewMesh(2, 2)} {
+		r := mugi.Simulate(mugi.SimParams{Design: mugi.NewTensorCore(), Mesh: mesh}, w)
+		fmt.Printf("%-6s %12.2f tokens/s  %10.2f tokens/s/W\n",
+			mesh, r.TokensPerSecond, r.TokensPerSecondPerWatt())
+	}
+}

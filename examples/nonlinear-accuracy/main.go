@@ -1,0 +1,84 @@
+// nonlinear-accuracy compares the VLP approximation against PWL, Taylor
+// and PA on the softmax/SiLU/GELU kernels, both uniformly over the input
+// axis and value-weighted over a realistic workload distribution — the
+// value-centric argument of paper §3.3-3.4 in miniature.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mugi"
+)
+
+func main() {
+	// A workload-like softmax input distribution: max-subtracted logits
+	// concentrated a few units below zero.
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = -math.Abs(rng.NormFloat64()*1.5) - 0.1
+	}
+
+	vlp := mugi.NewApprox(mugi.LUTSizeConfig(mugi.Exp, 12, 4))
+	vlp.SelectWindowMass(samples)
+	approxes := []mugi.Approximator{
+		vlp,
+		mugi.NewPWL(mugi.Exp, -16, 0, 22),
+		mugi.NewTaylor(mugi.Exp, -5, 9),
+	}
+
+	fmt.Println("softmax-exp kernel, inputs ~ concentrated around [-4, 0]:")
+	fmt.Printf("%-8s %18s %16s %12s\n", "scheme", "weighted |err|", "max |err| axis", "cycles/elem")
+	for _, a := range approxes {
+		fmt.Printf("%-8s %18.3g %16.3g %12.0f\n",
+			a.Name(), weightedErr(a, samples), maxErrOnAxis(a, -16, 0), a.CyclesPerElement())
+	}
+
+	// Activations cluster around zero: compare SiLU schemes there.
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	vlpS := mugi.NewApprox(mugi.LUTSizeConfig(mugi.SiLU, 12, 4))
+	vlpS.SelectWindowMass(samples)
+	fmt.Println("\nSiLU kernel, inputs ~ N(0,1):")
+	fmt.Printf("%-8s %18s %12s\n", "scheme", "weighted |err|", "cycles/elem")
+	for _, a := range []mugi.Approximator{
+		vlpS,
+		mugi.NewPWL(mugi.SiLU, -5, 5, 22),
+		mugi.NewPA(mugi.SiLU),
+	} {
+		fmt.Printf("%-8s %18.3g %12.0f\n", a.Name(), weightedErr(a, samples), a.CyclesPerElement())
+	}
+
+	// The window sensitivity that motivates per-layer tuning (Fig. 7).
+	fmt.Println("\nVLP window placement sensitivity (weighted |err| of exp):")
+	for i := range samples {
+		samples[i] = -math.Abs(rng.NormFloat64()*1.5) - 0.1
+	}
+	for _, lo := range []int{-12, -8, -4, -3, -2, 0} {
+		a := mugi.NewApprox(mugi.ApproxConfig{Op: mugi.Exp, LUTEMin: -14, LUTEMax: 6})
+		a.SetWindow(lo)
+		wl, wh := a.Window()
+		fmt.Printf("  window [%3d,%3d]: %.4g\n", wl, wh, weightedErr(a, samples))
+	}
+}
+
+func weightedErr(a mugi.Approximator, xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Abs(a.Approx(x) - mugi.Exact(a.Op(), x))
+	}
+	return sum / float64(len(xs))
+}
+
+func maxErrOnAxis(a mugi.Approximator, lo, hi float64) float64 {
+	max := 0.0
+	for x := lo; x <= hi; x += (hi - lo) / 512 {
+		if d := math.Abs(a.Approx(x) - mugi.Exact(a.Op(), x)); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,136 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"mugi/internal/core"
+	"mugi/internal/dist"
+	"mugi/internal/nonlinear"
+)
+
+func TestProxyDeterministic(t *testing.T) {
+	cfg := DefaultProxy(dist.Whisper)
+	cfg.Layers, cfg.SeqLen = 2, 16
+	a := NewProxy(cfg).Loss(Uniform(ExactImpl(cfg.Activation)))
+	b := NewProxy(cfg).Loss(Uniform(ExactImpl(cfg.Activation)))
+	if a != b {
+		t.Fatalf("non-deterministic loss: %v vs %v", a, b)
+	}
+	if math.IsNaN(a) || a <= 0 {
+		t.Fatalf("degenerate loss %v", a)
+	}
+}
+
+func TestProxyValidatesConfig(t *testing.T) {
+	cfg := DefaultProxy(dist.Whisper)
+	cfg.Dim = 30 // not divisible by 4 heads
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProxy(cfg)
+}
+
+func TestPerplexityIsExpLoss(t *testing.T) {
+	cfg := DefaultProxy(dist.ViViT)
+	cfg.Layers, cfg.SeqLen = 2, 12
+	p := NewProxy(cfg)
+	impl := Uniform(ExactImpl(cfg.Activation))
+	if math.Abs(p.Perplexity(impl)-math.Exp(p.Loss(impl))) > 1e-9 {
+		t.Error("perplexity != exp(loss)")
+	}
+}
+
+func TestGoodVLPWindowNearExact(t *testing.T) {
+	// A VLP exp with a well-placed window must land within a small margin
+	// of the exact perplexity (the Fig. 6 claim).
+	cfg := DefaultProxy(dist.Whisper)
+	cfg.Layers, cfg.SeqLen = 4, 24
+	p := NewProxy(cfg)
+	exact := p.Perplexity(Uniform(ExactImpl(cfg.Activation)))
+	impl := VLPImpl(
+		core.LUTSizeConfig(nonlinear.Exp, 12, 4),
+		core.LUTSizeConfig(cfg.Activation, 12, 4),
+	)
+	vlp := p.Perplexity(Uniform(impl))
+	if vlp > exact*1.1 {
+		t.Errorf("VLP PPL %.4f vs exact %.4f", vlp, exact)
+	}
+}
+
+func TestBadWindowDegrades(t *testing.T) {
+	// Pinning the LUT far from the input mass must visibly hurt, the
+	// effect the value-centric selection exists to avoid.
+	cfg := DefaultProxy(dist.Whisper)
+	cfg.Layers, cfg.SeqLen = 4, 24
+	p := NewProxy(cfg)
+	good := VLPImpl(
+		core.LUTSizeConfig(nonlinear.Exp, 12, 4),
+		core.LUTSizeConfig(cfg.Activation, 12, 4),
+	)
+	badA := core.New(core.LUTSizeConfig(nonlinear.Exp, 8, -10))
+	bad := Impl{
+		Name: "VLP-bad",
+		Softmax: func(dst, xs []float64) {
+			badA.SetWindow(-17)
+			badA.Softmax(dst, xs)
+		},
+		Act: ExactImpl(cfg.Activation).Act,
+	}
+	pg := p.Perplexity(Uniform(good))
+	pb := p.Perplexity(Uniform(bad))
+	if pb <= pg*1.02 {
+		t.Errorf("bad window PPL %.4f should exceed good %.4f", pb, pg)
+	}
+}
+
+func TestCollectSoftmaxInputs(t *testing.T) {
+	cfg := DefaultProxy(dist.Llama2)
+	cfg.Layers, cfg.SeqLen = 3, 16
+	p := NewProxy(cfg)
+	inputs := p.CollectSoftmaxInputs(4)
+	if len(inputs) != 3 {
+		t.Fatalf("layers %d", len(inputs))
+	}
+	for l, xs := range inputs {
+		if len(xs) != 4*16 {
+			t.Errorf("layer %d: %d samples, want 64", l, len(xs))
+		}
+		for _, x := range xs {
+			if x > 0 {
+				t.Fatalf("layer %d: positive max-subtracted input %v", l, x)
+			}
+		}
+	}
+	// Llama-2 depth drift must be visible in the collected scores.
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(inputs[2]) >= mean(inputs[0]) {
+		t.Errorf("expected deeper layers more negative: %v vs %v", mean(inputs[2]), mean(inputs[0]))
+	}
+}
+
+func TestCalibrationMatchesProfile(t *testing.T) {
+	cfg := DefaultProxy(dist.SwinV2)
+	cfg.Layers, cfg.SeqLen = 2, 32
+	p := NewProxy(cfg)
+	inputs := p.CollectSoftmaxInputs(8)
+	// Max-subtracted scores should spread on the order of the profile std
+	// (a few units), not be degenerate.
+	var lo float64
+	for _, x := range inputs[0] {
+		if x < lo {
+			lo = x
+		}
+	}
+	if lo > -1 || lo < -40 {
+		t.Errorf("score spread %v implausible for calibrated profile", lo)
+	}
+}

@@ -1,0 +1,118 @@
+package accuracy
+
+import (
+	"testing"
+
+	"mugi/internal/dist"
+)
+
+func smallProxy(f dist.Family) *Proxy {
+	cfg := DefaultProxy(f)
+	cfg.Layers, cfg.SeqLen, cfg.Dim, cfg.FFN = 3, 16, 16, 32
+	return NewProxy(cfg)
+}
+
+func TestSweepVLPSoftmaxShape(t *testing.T) {
+	p := smallProxy(dist.Whisper)
+	h := SweepVLPSoftmax(p, []int{8, 10}, []int{0, 2, 4})
+	if len(h.Values) != 2 || len(h.Values[0]) != 3 {
+		t.Fatalf("heatmap shape %dx%d", len(h.Values), len(h.Values[0]))
+	}
+	_, _, best := h.Best()
+	exact := p.Perplexity(Uniform(ExactImpl(p.cfg.Activation)))
+	if best > exact*1.15 {
+		t.Errorf("best VLP PPL %.4f far above exact %.4f", best, exact)
+	}
+}
+
+func TestSweepVLPActivation(t *testing.T) {
+	p := smallProxy(dist.SwinV2)
+	h := SweepVLPActivation(p, []int{10}, []int{2, 4})
+	exact := p.Perplexity(Uniform(ExactImpl(p.cfg.Activation)))
+	_, _, best := h.Best()
+	if best > exact*1.2 {
+		t.Errorf("best VLP S/G %.4f vs exact %.4f", best, exact)
+	}
+}
+
+func TestSweepPWL(t *testing.T) {
+	p := smallProxy(dist.Whisper)
+	sm := SweepPWLSoftmax(p, []int{22}, []float64{-20, -16})
+	if _, _, best := sm.Best(); best <= 0 {
+		t.Error("degenerate PWL SM sweep")
+	}
+	act := SweepPWLActivation(p, []int{22}, []float64{5, 7})
+	if _, _, best := act.Best(); best <= 0 {
+		t.Error("degenerate PWL S/G sweep")
+	}
+}
+
+func TestSweepTaylor(t *testing.T) {
+	p := smallProxy(dist.Whisper)
+	h := SweepTaylorSoftmax(p, []int{7, 9}, []float64{-5, -3})
+	if _, _, best := h.Best(); best <= 0 {
+		t.Error("degenerate Taylor sweep")
+	}
+}
+
+func TestVLPBeatsMisplacedTaylorOnConcentratedFamily(t *testing.T) {
+	// The Fig. 6 ordering: for concentrated distributions (Whisper), a
+	// tuned VLP window is at least as good as a Taylor expansion centered
+	// away from the mass.
+	p := smallProxy(dist.Whisper)
+	_, _, vlp := SweepVLPSoftmax(p, []int{10, 12}, []int{2, 4}).Best()
+	_, _, taylor := SweepTaylorSoftmax(p, []int{5}, []float64{-9}).Best()
+	if vlp > taylor*1.05 {
+		t.Errorf("VLP %.4f should not lose to misplaced Taylor %.4f", vlp, taylor)
+	}
+}
+
+func TestFullVLPPerplexity(t *testing.T) {
+	p := smallProxy(dist.ViViT)
+	full := FullVLPPerplexity(p, 12, 4, 4)
+	exact := p.Perplexity(Uniform(ExactImpl(p.cfg.Activation)))
+	if full <= 0 || full > exact*1.3 {
+		t.Errorf("full VLP PPL %.4f vs exact %.4f", full, exact)
+	}
+}
+
+func TestPerLayerTuningImproves(t *testing.T) {
+	// Fig. 7: progressive tuning must not end worse than it started, and
+	// the Llama-2 drift should make tuning strictly helpful.
+	cfg := DefaultProxy(dist.Llama2)
+	cfg.Layers, cfg.SeqLen, cfg.Dim, cfg.FFN = 4, 16, 16, 32
+	p := NewProxy(cfg)
+	steps := PerLayerTuning(p, 8, -2, 5, 5)
+	if len(steps) != cfg.Layers+1 {
+		t.Fatalf("steps %d", len(steps))
+	}
+	first, last := steps[0].PPL, steps[len(steps)-1].PPL
+	if last > first*1.001 {
+		t.Errorf("tuning made things worse: %.4f -> %.4f", first, last)
+	}
+	for _, s := range steps[1:] {
+		if s.EMax < -2 || s.EMax > 5 {
+			t.Errorf("tuned eMax %d outside search range", s.EMax)
+		}
+	}
+}
+
+func TestPerLayerTuningValidates(t *testing.T) {
+	p := smallProxy(dist.Llama2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PerLayerTuning(p, 8, 5, -2, 0)
+}
+
+func TestHeatmapBest(t *testing.T) {
+	h := newHeatmap("t", "r", "c", []float64{1, 2}, []float64{1})
+	h.Values[0][0] = 5
+	h.Values[1][0] = 3
+	r, c, v := h.Best()
+	if r != 1 || c != 0 || v != 3 {
+		t.Errorf("best (%d,%d)=%v", r, c, v)
+	}
+}

@@ -1,0 +1,78 @@
+// Package carbon implements the sustainability model of the paper (§2.4,
+// §5.3): operational CO2-equivalent emissions as energy × carbon intensity
+// (Eq. 6) and embodied emissions as area × carbon-per-area (Eq. 7),
+// following the ACT methodology with the world-average carbon intensity
+// and a CPA derived from per-mm² manufacturing energy (Dark Silicon).
+package carbon
+
+import "fmt"
+
+// WorldCI is the world-average grid carbon intensity used by ACT:
+// 475 gCO2eq/kWh, expressed per joule.
+const WorldCI = 475.0 / 3.6e6 // gCO2eq per joule
+
+// CPA45nm is the embodied carbon per unit die area at the evaluation
+// technology. It is derived from a manufacturing energy of ~1.16 kWh/mm²
+// (Dark Silicon's E/mm² for mature nodes) converted through WorldCI, the
+// same construction as the paper's §5.3.
+const CPA45nm = 550.0 // gCO2eq per mm²
+
+// DefaultLifetime is the amortization window for embodied carbon:
+// a 3-year deployment.
+const DefaultLifetime = 3 * 365.25 * 24 * 3600.0 // seconds
+
+// Operational converts consumed energy (J) to operational emissions (g).
+func Operational(joules float64) float64 {
+	if joules < 0 {
+		panic(fmt.Sprintf("carbon: negative energy %v", joules))
+	}
+	return joules * WorldCI
+}
+
+// EmbodiedTotal is the full embodied footprint of a die (g).
+func EmbodiedTotal(areaMM2 float64) float64 {
+	if areaMM2 < 0 {
+		panic(fmt.Sprintf("carbon: negative area %v", areaMM2))
+	}
+	return areaMM2 * CPA45nm
+}
+
+// EmbodiedAmortized attributes the share of the die's embodied carbon
+// consumed by `busy` seconds of a `lifetime`-second deployment.
+func EmbodiedAmortized(areaMM2, busy, lifetime float64) float64 {
+	if lifetime <= 0 {
+		panic("carbon: non-positive lifetime")
+	}
+	if busy < 0 {
+		panic("carbon: negative busy time")
+	}
+	return EmbodiedTotal(areaMM2) * busy / lifetime
+}
+
+// Footprint is a combined operational + embodied assessment in gCO2eq.
+type Footprint struct {
+	OperationalG float64
+	EmbodiedG    float64
+}
+
+// Total sums both components.
+func (f Footprint) Total() float64 { return f.OperationalG + f.EmbodiedG }
+
+// Assess computes the footprint of a workload run: energyJ joules consumed
+// over `seconds` on a die of areaMM2, amortizing embodied carbon over the
+// default lifetime.
+func Assess(energyJ, areaMM2, seconds float64) Footprint {
+	return Footprint{
+		OperationalG: Operational(energyJ),
+		EmbodiedG:    EmbodiedAmortized(areaMM2, seconds, DefaultLifetime),
+	}
+}
+
+// PerToken normalizes a footprint by generated tokens.
+func (f Footprint) PerToken(tokens int) Footprint {
+	if tokens <= 0 {
+		panic(fmt.Sprintf("carbon: non-positive tokens %d", tokens))
+	}
+	n := float64(tokens)
+	return Footprint{OperationalG: f.OperationalG / n, EmbodiedG: f.EmbodiedG / n}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mugi/internal/nonlinear"
+	"mugi/internal/numerics"
+)
+
+// DefaultManBits is the rounded mantissa width: 3 bits give the 8-cycle
+// temporal window that matches the 8-column array (paper §4).
+const DefaultManBits = 3
+
+// DefaultWindowWidth is the sliding-window width, fixed to the array width
+// of 8 (paper Fig. 5).
+const DefaultWindowWidth = 8
+
+// Config parameterizes a VLP approximator. The Fig. 6 sweep varies LUTEMax
+// ("Min/Max Exp") and the stored exponent count ("LUT size").
+type Config struct {
+	// Op is the nonlinear operation to approximate.
+	Op nonlinear.Op
+	// ManBits is the rounded mantissa width (default 3).
+	ManBits int
+	// LUTEMin and LUTEMax delimit the stored exponent window, inclusive.
+	LUTEMin, LUTEMax int
+	// WindowWidth is the sliding-window width (default 8, the array width).
+	WindowWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ManBits == 0 {
+		c.ManBits = DefaultManBits
+	}
+	if c.WindowWidth == 0 {
+		c.WindowWidth = DefaultWindowWidth
+	}
+	return c
+}
+
+// LUTSizeConfig builds the Fig. 6 sweep point: a LUT storing `lutSize`
+// exponents whose top (most significant stored exponent) is eMax.
+func LUTSizeConfig(op nonlinear.Op, lutSize, eMax int) Config {
+	return Config{Op: op, LUTEMin: eMax - lutSize + 1, LUTEMax: eMax}
+}
+
+// Approx is the VLP nonlinear approximator (paper §3): it splits inputs
+// into S-M-E fields, value-reuses LUT rows across the array, and performs
+// mantissa + exponent temporal subscription. It satisfies
+// nonlinear.Approximator so it can be swapped against PWL/Taylor/PA in the
+// accuracy and performance studies.
+type Approx struct {
+	cfg   Config
+	lut   *LUT
+	winLo int
+}
+
+// New builds a VLP approximator; the sliding window starts at the top of
+// the LUT window.
+func New(cfg Config) *Approx {
+	cfg = cfg.withDefaults()
+	if cfg.WindowWidth < 1 {
+		panic("core: window width < 1")
+	}
+	if cfg.LUTEMax-cfg.LUTEMin+1 < cfg.WindowWidth {
+		panic(fmt.Sprintf("core: LUT window [%d,%d] narrower than sliding width %d",
+			cfg.LUTEMin, cfg.LUTEMax, cfg.WindowWidth))
+	}
+	a := &Approx{cfg: cfg, lut: NewLUT(cfg.Op, cfg.ManBits, cfg.LUTEMin, cfg.LUTEMax)}
+	a.winLo = cfg.LUTEMax - cfg.WindowWidth + 1
+	return a
+}
+
+// Config returns the approximator's configuration (with defaults applied).
+func (a *Approx) Config() Config { return a.cfg }
+
+// LUT exposes the underlying table (for the area model).
+func (a *Approx) LUT() *LUT { return a.lut }
+
+// Window reports the current sliding window [lo, hi] inclusive.
+func (a *Approx) Window() (lo, hi int) { return a.winLo, a.winLo + a.cfg.WindowWidth - 1 }
+
+// SetWindow slides the window so its lowest stored exponent is lo; it
+// clamps into the LUT range like the SW block.
+func (a *Approx) SetWindow(lo int) {
+	if lo < a.cfg.LUTEMin {
+		lo = a.cfg.LUTEMin
+	}
+	if hi := a.cfg.LUTEMax - a.cfg.WindowWidth + 1; lo > hi {
+		lo = hi
+	}
+	a.winLo = lo
+}
+
+// SelectWindowMax implements the hardware E-proc policy: the window top is
+// pinned to the largest exponent seen in the mapping (paper §4 block 1),
+// clamped into the LUT range.
+func (a *Approx) SelectWindowMax(xs []float64) {
+	maxE := math.MinInt32
+	for _, x := range xs {
+		f := numerics.Split(float32(x), a.cfg.ManBits)
+		if f.Class != numerics.ClassNormal {
+			continue
+		}
+		if f.Exp > maxE {
+			maxE = f.Exp
+		}
+	}
+	if maxE == math.MinInt32 {
+		return
+	}
+	a.SetWindow(maxE - a.cfg.WindowWidth + 1)
+}
+
+// SelectWindowMass slides the window to cover the largest exponent mass of
+// the mapping — the offline "optimal range" choice of Fig. 5.
+func (a *Approx) SelectWindowMass(xs []float64) {
+	hist := map[int]int{}
+	for _, x := range xs {
+		f := numerics.Split(float32(x), a.cfg.ManBits)
+		if f.Class != numerics.ClassNormal {
+			continue
+		}
+		e := f.Exp
+		if e < a.cfg.LUTEMin {
+			e = a.cfg.LUTEMin
+		}
+		if e > a.cfg.LUTEMax {
+			e = a.cfg.LUTEMax
+		}
+		hist[e]++
+	}
+	bestLo, bestMass := a.winLo, -1
+	for lo := a.cfg.LUTEMin; lo+a.cfg.WindowWidth-1 <= a.cfg.LUTEMax; lo++ {
+		m := 0
+		for e := lo; e < lo+a.cfg.WindowWidth; e++ {
+			m += hist[e]
+		}
+		if m > bestMass {
+			bestLo, bestMass = lo, m
+		}
+	}
+	a.winLo = bestLo
+}
+
+// Op implements nonlinear.Approximator.
+func (a *Approx) Op() nonlinear.Op { return a.cfg.Op }
+
+// Name implements nonlinear.Approximator.
+func (a *Approx) Name() string { return "VLP" }
+
+// CyclesPerElement implements nonlinear.Approximator: one element completes
+// per array row every mantissa temporal window (2^ManBits cycles); the
+// exponent subscription pipelines behind it.
+func (a *Approx) CyclesPerElement() float64 {
+	return float64(WindowCycles(a.cfg.ManBits))
+}
+
+// Approx implements nonlinear.Approximator, evaluating one input against
+// the current sliding window. This is the fast functional path; see
+// ApproxTemporal for the cycle-faithful array walk used in tests.
+func (a *Approx) Approx(x float64) float64 {
+	x = a.reduce(x)
+	word := float64(numerics.BF16FromFloat32(float32(x)).Float32())
+	f := numerics.Split(float32(word), a.cfg.ManBits)
+	return a.lut.lookupClamped(f, a.winLo, a.cfg.WindowWidth, word)
+}
+
+// reduce range-reduces periodic operations into [-pi, pi] before the
+// field split; the PP block performs this with a fixed-point multiply
+// (paper §7.1 sketches RoPE support this way). Non-periodic ops pass
+// through.
+func (a *Approx) reduce(x float64) float64 {
+	if (a.cfg.Op == nonlinear.Sin || a.cfg.Op == nonlinear.Cos) && !math.IsNaN(x) && !math.IsInf(x, 0) {
+		return math.Remainder(x, 2*math.Pi)
+	}
+	return x
+}
+
+// BatchStats reports the timing of one batch mapped onto an H-row array.
+type BatchStats struct {
+	// Elements is the number of inputs processed.
+	Elements int
+	// Waves is the number of row-fill waves: ceil(Elements / Rows).
+	Waves int
+	// Cycles is the total latency: waves pipeline every mantissa window,
+	// plus the exponent subscription drain of the last wave.
+	Cycles int
+}
+
+// ApproxBatch evaluates all inputs with the current window on an array of
+// `rows` rows, writing results to dst (which may alias xs) and returning
+// the timing. Window selection is the caller's responsibility (hardware
+// runs SelectWindowMax per mapping; tuned flows use SelectWindowMass).
+func (a *Approx) ApproxBatch(dst, xs []float64, rows int) BatchStats {
+	if len(dst) != len(xs) {
+		panic("core: ApproxBatch length mismatch")
+	}
+	if rows < 1 {
+		panic("core: ApproxBatch rows < 1")
+	}
+	for i, x := range xs {
+		dst[i] = a.Approx(x)
+	}
+	waves := (len(xs) + rows - 1) / rows
+	manWin := WindowCycles(a.cfg.ManBits)
+	cycles := 0
+	if waves > 0 {
+		cycles = waves*manWin + a.cfg.WindowWidth
+	}
+	return BatchStats{Elements: len(xs), Waves: waves, Cycles: cycles}
+}
+
+// Softmax computes a full softmax with VLP-approximated exp: max
+// subtraction (E-proc), sliding-window selection on the subtracted values
+// (the operands exp actually sees), VLP exp, accumulation in oAcc, and the
+// reciprocal multiply in the vector array (paper §4.1).
+func (a *Approx) Softmax(dst, xs []float64) []float64 {
+	if a.cfg.Op != nonlinear.Exp {
+		panic("core: Softmax requires an exp approximator")
+	}
+	if len(xs) > 0 {
+		max := xs[0]
+		for _, v := range xs[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v - max
+		}
+		a.SelectWindowMax(shifted)
+	}
+	return nonlinear.Softmax(dst, xs, a.Approx)
+}
+
+// ApproxTemporal evaluates one input by literally walking the temporal
+// machinery cycle by cycle — the mantissa TC subscribing the streamed LUT
+// rows, then the exponent TC subscribing within the captured row — and
+// returns the value plus the subscription cycle indices. It must agree
+// exactly with Approx; the property tests enforce this.
+func (a *Approx) ApproxTemporal(x float64) (val float64, manCycle, expCycle int) {
+	x = a.reduce(x)
+	word := float64(numerics.BF16FromFloat32(float32(x)).Float32())
+	f := numerics.Split(float32(word), a.cfg.ManBits)
+	if f.Class != numerics.ClassNormal {
+		return a.lut.lookupClamped(f, a.winLo, a.cfg.WindowWidth, word), -1, -1
+	}
+	e := f.Exp
+	underflow := e < a.winLo
+	overflow := e >= a.winLo+a.cfg.WindowWidth
+	if underflow || overflow {
+		return a.lut.lookupClamped(f, a.winLo, a.cfg.WindowWidth, word), -1, -1
+	}
+	// Phase 2+3: stream LUT rows in mantissa-ascending order; the mantissa
+	// TC captures its row when the counter matches.
+	manWin := WindowCycles(a.cfg.ManBits)
+	tcM := NewTemporalConverter(f.Mantissa)
+	var row []float64
+	for c := 0; c < manWin; c++ {
+		streamed := a.lut.Row(f.Sign, c, a.winLo, a.cfg.WindowWidth)
+		if tcM.Step(c) {
+			row = streamed
+			manCycle = c
+		}
+	}
+	// Phase 4: the exponent TC subscribes within the captured row.
+	tcE := NewTemporalConverter(e - a.winLo)
+	for c := 0; c < a.cfg.WindowWidth; c++ {
+		if tcE.Step(c) {
+			val = row[c]
+			expCycle = c
+		}
+	}
+	return val, manCycle, expCycle
+}
+
+// TuneWindow picks the LUT top exponent (eMax) in [searchLo, searchHi]
+// minimizing the value-weighted error over the samples, for a LUT storing
+// lutSize exponents. It is the per-layer tuning primitive behind Fig. 7.
+func TuneWindow(op nonlinear.Op, lutSize int, samples []float64, searchLo, searchHi int) (bestEMax int, bestErr float64) {
+	if searchLo > searchHi {
+		panic("core: TuneWindow empty search range")
+	}
+	bestErr = math.Inf(1)
+	bestEMax = searchLo
+	for eMax := searchLo; eMax <= searchHi; eMax++ {
+		a := New(LUTSizeConfig(op, lutSize, eMax))
+		a.SelectWindowMass(samples)
+		if err := nonlinear.WeightedError(a, samples); err < bestErr {
+			bestErr, bestEMax = err, eMax
+		}
+	}
+	return bestEMax, bestErr
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mugi/internal/tensor"
+)
+
+func TestSimulateArrayGEMMMatchesMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(48)
+		n := 1 + rng.Intn(24)
+		a := tensor.RandNormal(rng, m, k, 1)
+		w := tensor.RandNormal(rng, k, n, 0.4)
+		q := QuantizeWeights(w, 4, 16)
+		cfg := GEMMConfig{Rows: 16, Cols: 8, Mapping: MappingMugi}
+		want, _ := Multiply(cfg, a, q)
+		got := SimulateArrayGEMM(cfg, a, q)
+		if d := tensor.MaxAbsDiff(got.Out, want); d > 1e-5*(1+want.Frobenius()) {
+			t.Fatalf("trial %d (%dx%dx%d): diff %v", trial, m, k, n, d)
+		}
+	}
+}
+
+func TestSimulateArrayGEMMCyclesMatchPlan(t *testing.T) {
+	// The literal walk must burn exactly the cycles the analytic model
+	// predicts — the validation PlanCycles rests on.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		m := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		a := tensor.RandNormal(rng, m, k, 1)
+		w := tensor.RandNormal(rng, k, n, 0.4)
+		q := QuantizeWeights(w, 4, 16)
+		cfg := GEMMConfig{Rows: 16, Cols: 8, Mapping: MappingMugi}
+		got := SimulateArrayGEMM(cfg, a, q)
+		plan := PlanCycles(cfg, m, k, n, 4)
+		if got.Cycles != plan.Cycles {
+			t.Fatalf("trial %d (%dx%dx%d): walked %d cycles, plan %d",
+				trial, m, k, n, got.Cycles, plan.Cycles)
+		}
+		if got.Subscriptions != plan.MACs {
+			t.Fatalf("trial %d: %d subscriptions, want %d MACs",
+				trial, got.Subscriptions, plan.MACs)
+		}
+	}
+}
+
+func TestSimulateArrayGEMMValidates(t *testing.T) {
+	a := tensor.NewMatrix(2, 4)
+	q := QuantizeWeights(tensor.NewMatrix(4, 2), 4, 4)
+	for name, f := range map[string]func(){
+		"mapping": func() {
+			SimulateArrayGEMM(GEMMConfig{Rows: 8, Cols: 8, Mapping: MappingCaratBF16}, a, q)
+		},
+		"shape": func() {
+			SimulateArrayGEMM(GEMMConfig{Rows: 8, Cols: 8}, tensor.NewMatrix(2, 3), q)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mugi/internal/tensor"
+)
+
+// Mapping selects which operand is temporally coded on the array rows
+// (paper §4.2 "format customization").
+type Mapping int
+
+const (
+	// MappingMugi is the paper's transposed mapping: INT4 weights/KV-cache
+	// codes are temporally coded on the rows (8-cycle windows from the
+	// 3-bit magnitude), while BF16 activations/queries accumulate on the
+	// columns. Large LLM weight dimensions fill all rows and a GQA group
+	// of 8 queries fills all columns.
+	MappingMugi Mapping = iota
+	// MappingCaratBF16 is the ablation: Carat's original orientation with
+	// the floating-point operand temporally coded. A BF16 mantissa has 7
+	// bits, so every reduction step needs a 2^7 = 128-cycle window —
+	// the throughput cliff that motivates the transposed mapping.
+	MappingCaratBF16
+	// MappingCaratFP8 is Carat's native design point (paper §2.1): FP8
+	// activations (3-bit mantissa, 8-cycle windows) temporally coded with
+	// the batch dimension on the rows. It excels on large-batch CNN-style
+	// workloads and starves on LLM decode batches — the quantitative form
+	// of the paper's "Carat is unsuited for such workloads" argument.
+	// Cycle model only; the functional engine runs the BF16-INT4 paths.
+	MappingCaratFP8
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case MappingMugi:
+		return "mugi"
+	case MappingCaratBF16:
+		return "carat-bf16"
+	case MappingCaratFP8:
+		return "carat-fp8"
+	default:
+		return fmt.Sprintf("mapping(%d)", int(m))
+	}
+}
+
+// QuantMatrix is a K×N INT-quantized weight (or KV-cache) matrix with
+// per-column, per-K-group scales, the layout produced by WOQ/KVQ.
+type QuantMatrix struct {
+	Rows, Cols int // K × N
+	Bits       int
+	GroupSize  int // group extent along K
+	Codes      []int8
+	// Scales is indexed [col*groups + g] where g = k/GroupSize.
+	Scales []float32
+}
+
+// QuantizeWeights quantizes w (K×N) to signed `bits` codes with symmetric
+// per-column groups of groupSize along K. Codes are clamped to ±(2^(bits-1)-1)
+// so the magnitude fits the temporal window exactly.
+func QuantizeWeights(w *tensor.Matrix, bits, groupSize int) QuantMatrix {
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("core: quantize bits %d out of range", bits))
+	}
+	if groupSize <= 0 || groupSize > w.Rows {
+		groupSize = w.Rows
+	}
+	groups := (w.Rows + groupSize - 1) / groupSize
+	q := QuantMatrix{
+		Rows: w.Rows, Cols: w.Cols, Bits: bits, GroupSize: groupSize,
+		Codes:  make([]int8, w.Rows*w.Cols),
+		Scales: make([]float32, w.Cols*groups),
+	}
+	maxQ := float64(int(1)<<(bits-1) - 1)
+	for n := 0; n < w.Cols; n++ {
+		for g := 0; g < groups; g++ {
+			lo, hi := g*groupSize, (g+1)*groupSize
+			if hi > w.Rows {
+				hi = w.Rows
+			}
+			maxAbs := 0.0
+			for k := lo; k < hi; k++ {
+				if a := math.Abs(float64(w.At(k, n))); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			scale := maxAbs / maxQ
+			if scale == 0 {
+				scale = 1
+			}
+			q.Scales[n*groups+g] = float32(scale)
+			for k := lo; k < hi; k++ {
+				c := math.Round(float64(w.At(k, n)) / scale)
+				if c > maxQ {
+					c = maxQ
+				}
+				if c < -maxQ {
+					c = -maxQ
+				}
+				q.Codes[k*w.Cols+n] = int8(c)
+			}
+		}
+	}
+	return q
+}
+
+// Code returns the integer code at (k, n).
+func (q QuantMatrix) Code(k, n int) int8 { return q.Codes[k*q.Cols+n] }
+
+// Scale returns the dequantization scale for (k, n).
+func (q QuantMatrix) Scale(k, n int) float32 {
+	groups := (q.Rows + q.GroupSize - 1) / q.GroupSize
+	return q.Scales[n*groups+k/q.GroupSize]
+}
+
+// Dequantize reconstructs the float weight matrix.
+func (q QuantMatrix) Dequantize() *tensor.Matrix {
+	w := tensor.NewMatrix(q.Rows, q.Cols)
+	for k := 0; k < q.Rows; k++ {
+		for n := 0; n < q.Cols; n++ {
+			w.Set(k, n, float32(q.Code(k, n))*q.Scale(k, n))
+		}
+	}
+	return w
+}
+
+// GEMMConfig describes the VLP array executing the GEMM.
+type GEMMConfig struct {
+	// Rows is the array height H (weights map here under MappingMugi).
+	Rows int
+	// Cols is the array width (8 in all paper configurations).
+	Cols int
+	// Mapping selects the operand orientation.
+	Mapping Mapping
+}
+
+func (c GEMMConfig) validate() {
+	if c.Rows < 1 || c.Cols < 1 {
+		panic(fmt.Sprintf("core: GEMM array %dx%d invalid", c.Rows, c.Cols))
+	}
+}
+
+// GEMMStats reports the timing and utilization of one VLP GEMM.
+type GEMMStats struct {
+	// WindowCycles is the temporal window per reduction step (8 for INT4
+	// magnitudes under MappingMugi, 128 for BF16 under MappingCaratBF16).
+	WindowCycles int
+	// TilesM and TilesN count output tiles along tokens and weights.
+	TilesM, TilesN int
+	// Cycles is the total array latency.
+	Cycles int
+	// MACs is the useful multiply-accumulate count (M·N·K).
+	MACs int
+	// VecOps counts vector-array dequant/rescale operations (one per
+	// output element).
+	VecOps int
+	// Utilization is MACs over the array's tile capacity.
+	Utilization float64
+}
+
+// EffectiveMACsPerCycle is the achieved compute rate.
+func (s GEMMStats) EffectiveMACsPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MACs) / float64(s.Cycles)
+}
+
+// Multiply computes C = A × Wq on the VLP array: A is an M×K BF16
+// activation (query) matrix, Wq a K×N quantized weight/KV matrix. The
+// arithmetic is the temporal-subscription arithmetic (magnitude × addend
+// accumulation with XOR sign), so the result matches A × Dequantize(Wq)
+// exactly up to float rounding; stats carry the cycle model.
+//
+// Under MappingMugi, weights tile the rows (N across H) and tokens tile the
+// columns (M across Cols); each reduction step k costs one 8-cycle window.
+// Under MappingCaratBF16, tokens tile the rows, weights tile the columns,
+// and each reduction step costs a 128-cycle window.
+func Multiply(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix) (*tensor.Matrix, GEMMStats) {
+	cfg.validate()
+	if a.Cols != wq.Rows {
+		panic(fmt.Sprintf("core: GEMM shapes %dx%d · %dx%d", a.Rows, a.Cols, wq.Rows, wq.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, wq.Cols
+	out := tensor.NewMatrix(m, n)
+	// Functional compute via subscription arithmetic: product =
+	// sign ⊕ (magnitude-cycle subscription of the BF16 accumulation).
+	// Group partial sums are rescaled by the vector array after the
+	// subscription phase (WOQ/KVQ dequantization).
+	groups := (k + wq.GroupSize - 1) / wq.GroupSize
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			gAcc := 0.0
+			curG := 0
+			for kk := 0; kk < k; kk++ {
+				if g := kk / wq.GroupSize; g != curG {
+					acc += gAcc * float64(wq.Scales[j*groups+curG])
+					gAcc, curG = 0, g
+				}
+				code := int(wq.Code(kk, j))
+				mag := code
+				if mag < 0 {
+					mag = -mag
+				}
+				// Temporal subscription: at cycle `mag` the accumulator of
+				// a[i,kk] holds mag × a[i,kk]; the SC XOR applies the sign.
+				prod := float64(mag) * float64(a.At(i, kk))
+				if code < 0 {
+					prod = -prod
+				}
+				gAcc += prod
+			}
+			acc += gAcc * float64(wq.Scales[j*groups+curG])
+			out.Set(i, j, float32(acc))
+		}
+	}
+
+	var stats GEMMStats
+	stats.MACs = m * n * k
+	stats.VecOps = m * n
+	switch cfg.Mapping {
+	case MappingMugi:
+		stats.WindowCycles = WindowCycles(wq.Bits - 1) // magnitude bits
+		stats.TilesN = ceilDiv(n, cfg.Rows)
+		stats.TilesM = ceilDiv(m, cfg.Cols)
+	case MappingCaratBF16:
+		stats.WindowCycles = WindowCycles(7) // BF16 mantissa width
+		stats.TilesM = ceilDiv(m, cfg.Rows)
+		stats.TilesN = ceilDiv(n, cfg.Cols)
+	case MappingCaratFP8:
+		panic("core: MappingCaratFP8 is a cycle model only (use PlanCycles)")
+	default:
+		panic("core: unknown mapping")
+	}
+	stats.Cycles = stats.TilesM * stats.TilesN * k * stats.WindowCycles
+	capacity := stats.TilesM * stats.TilesN * cfg.Rows * cfg.Cols * k
+	stats.Utilization = float64(stats.MACs) / float64(capacity)
+	return out, stats
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// PlanCycles returns only the cycle model of Multiply for the given
+// problem shape, for use by the architecture simulator on shapes too large
+// to materialize.
+func PlanCycles(cfg GEMMConfig, m, k, n, weightBits int) GEMMStats {
+	cfg.validate()
+	var stats GEMMStats
+	stats.MACs = m * n * k
+	stats.VecOps = m * n
+	switch cfg.Mapping {
+	case MappingMugi:
+		stats.WindowCycles = WindowCycles(weightBits - 1)
+		stats.TilesN = ceilDiv(n, cfg.Rows)
+		stats.TilesM = ceilDiv(m, cfg.Cols)
+	case MappingCaratBF16:
+		stats.WindowCycles = WindowCycles(7)
+		stats.TilesM = ceilDiv(m, cfg.Rows)
+		stats.TilesN = ceilDiv(n, cfg.Cols)
+	case MappingCaratFP8:
+		stats.WindowCycles = WindowCycles(3) // FP8 E4M3 mantissa
+		stats.TilesM = ceilDiv(m, cfg.Rows)
+		stats.TilesN = ceilDiv(n, cfg.Cols)
+	default:
+		panic("core: unknown mapping")
+	}
+	stats.Cycles = stats.TilesM * stats.TilesN * k * stats.WindowCycles
+	capacity := stats.TilesM * stats.TilesN * cfg.Rows * cfg.Cols * k
+	stats.Utilization = float64(stats.MACs) / float64(capacity)
+	return stats
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mugi/internal/tensor"
+)
+
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.RandNormal(rng, 64, 16, 0.5)
+	q := QuantizeWeights(w, 4, 32)
+	back := q.Dequantize()
+	for k := 0; k < w.Rows; k++ {
+		for n := 0; n < w.Cols; n++ {
+			bound := float64(q.Scale(k, n))/2 + 1e-6
+			if d := math.Abs(float64(back.At(k, n) - w.At(k, n))); d > bound {
+				t.Fatalf("(%d,%d): err %v > %v", k, n, d, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeWeightsCodesClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := tensor.RandNormal(rng, 128, 8, 2)
+	q := QuantizeWeights(w, 4, 64)
+	for _, c := range q.Codes {
+		if c < -7 || c > 7 {
+			t.Fatalf("code %d outside ±7 (magnitude must fit the 8-cycle window)", c)
+		}
+	}
+}
+
+func TestQuantizeWeightsValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QuantizeWeights(tensor.NewMatrix(4, 4), 1, 4)
+}
+
+func TestMultiplyMatchesReference(t *testing.T) {
+	// VLP GEMM must equal A × Dequantize(Wq) up to float32 rounding.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(96)
+		n := 1 + rng.Intn(40)
+		a := tensor.RandNormal(rng, m, k, 1)
+		w := tensor.RandNormal(rng, k, n, 0.3)
+		q := QuantizeWeights(w, 4, 32)
+		got, _ := Multiply(GEMMConfig{Rows: 32, Cols: 8, Mapping: MappingMugi}, a, q)
+		want := tensor.MatMul(a, q.Dequantize())
+		scale := 1 + want.Frobenius()
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-4*scale {
+			t.Fatalf("trial %d (%dx%dx%d): diff %v", trial, m, k, n, d)
+		}
+	}
+}
+
+func TestMultiplySubscriptionConsistency(t *testing.T) {
+	// Each scalar product inside the GEMM equals the literal temporal
+	// subscription result.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		code := rng.Intn(15) - 7
+		a := rng.NormFloat64()
+		mag := code
+		if mag < 0 {
+			mag = -mag
+		}
+		viaSub := MultiplyViaSubscription(mag, a, 3)
+		if code < 0 {
+			viaSub = -viaSub
+		}
+		want := float64(code) * a
+		if math.Abs(viaSub-want) > 8e-15*math.Abs(want) {
+			t.Fatalf("code %d a %v: %v != %v", code, a, viaSub, want)
+		}
+	}
+}
+
+func TestMultiplyShapeValidation(t *testing.T) {
+	a := tensor.NewMatrix(2, 3)
+	q := QuantizeWeights(tensor.NewMatrix(4, 2), 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Multiply(GEMMConfig{Rows: 8, Cols: 8}, a, q)
+}
+
+func TestMugiMappingCycles(t *testing.T) {
+	// H=128 rows, 8 cols, batch 8 tokens, K=256, N=512 weights:
+	// tilesN = 4, tilesM = 1, cycles = 4*1*256*8.
+	st := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}, 8, 256, 512, 4)
+	if st.WindowCycles != 8 {
+		t.Fatalf("window %d", st.WindowCycles)
+	}
+	if st.TilesN != 4 || st.TilesM != 1 {
+		t.Fatalf("tiles %d,%d", st.TilesM, st.TilesN)
+	}
+	if st.Cycles != 4*256*8 {
+		t.Fatalf("cycles %d", st.Cycles)
+	}
+	if st.Utilization != 1.0 {
+		t.Fatalf("utilization %v", st.Utilization)
+	}
+	// Effective MACs/cycle at full utilization = H.
+	if got := st.EffectiveMACsPerCycle(); got != 128 {
+		t.Fatalf("effective rate %v", got)
+	}
+}
+
+func TestCaratBF16MappingIsSlower(t *testing.T) {
+	// The ablation of §4.2: temporally coding BF16 forces 128-cycle
+	// windows, and a batch of 8 fills only 8 of the rows.
+	mugi := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}, 8, 256, 512, 4)
+	carat := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingCaratBF16}, 8, 256, 512, 4)
+	if carat.WindowCycles != 128 {
+		t.Fatalf("carat window %d", carat.WindowCycles)
+	}
+	slowdown := float64(carat.Cycles) / float64(mugi.Cycles)
+	if slowdown < 16 {
+		t.Errorf("expected >=16x slowdown, got %.1fx", slowdown)
+	}
+	if carat.Utilization >= mugi.Utilization {
+		t.Errorf("carat util %v >= mugi util %v", carat.Utilization, mugi.Utilization)
+	}
+}
+
+func TestMultiplyCaratMappingStillCorrect(t *testing.T) {
+	// The mapping changes timing, never values.
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.RandNormal(rng, 4, 32, 1)
+	w := tensor.RandNormal(rng, 32, 16, 0.5)
+	q := QuantizeWeights(w, 4, 16)
+	gm, _ := Multiply(GEMMConfig{Rows: 16, Cols: 8, Mapping: MappingMugi}, a, q)
+	gc, _ := Multiply(GEMMConfig{Rows: 16, Cols: 8, Mapping: MappingCaratBF16}, a, q)
+	if tensor.MaxAbsDiff(gm, gc) != 0 {
+		t.Fatal("mapping changed values")
+	}
+}
+
+func TestGQAGroupFillsColumns(t *testing.T) {
+	// A GQA group of 8 queries exactly fills the 8 columns: utilization 1
+	// when N is a multiple of H. A plain GEMV (batch 1) wastes 7/8.
+	gqa := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}, 8, 128, 128, 4)
+	gemv := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}, 1, 128, 128, 4)
+	if gqa.Utilization != 1 {
+		t.Errorf("GQA utilization %v", gqa.Utilization)
+	}
+	if gemv.Utilization != 0.125 {
+		t.Errorf("GEMV utilization %v", gemv.Utilization)
+	}
+}
+
+func TestPlanCyclesMatchesMultiplyStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.RandNormal(rng, 5, 48, 1)
+	w := tensor.RandNormal(rng, 48, 20, 0.5)
+	q := QuantizeWeights(w, 4, 16)
+	cfg := GEMMConfig{Rows: 16, Cols: 8, Mapping: MappingMugi}
+	_, st := Multiply(cfg, a, q)
+	plan := PlanCycles(cfg, 5, 48, 20, 4)
+	if st != plan {
+		t.Fatalf("stats mismatch: %+v vs %+v", st, plan)
+	}
+}
+
+func TestGEMMConfigValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PlanCycles(GEMMConfig{Rows: 0, Cols: 8}, 1, 1, 1, 4)
+}
+
+func TestCaratFP8LargeBatchDesignPoint(t *testing.T) {
+	// Carat's native FP8 large-batch mapping (paper §2.1): at CNN-style
+	// batch 512 it sustains full utilization; at LLM decode batch 8 it
+	// uses 8 of 128 rows. Mugi's transposed mapping is batch-insensitive.
+	cfg := GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingCaratFP8}
+	big := PlanCycles(cfg, 512, 256, 256, 8)
+	small := PlanCycles(cfg, 8, 256, 256, 8)
+	if big.WindowCycles != 8 {
+		t.Fatalf("FP8 window %d", big.WindowCycles)
+	}
+	if big.Utilization != 1 {
+		t.Errorf("large-batch utilization %v", big.Utilization)
+	}
+	if small.Utilization > 0.1 {
+		t.Errorf("decode-batch utilization %v, want ~1/16", small.Utilization)
+	}
+	mugi := PlanCycles(GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}, 8, 256, 256, 4)
+	if mugi.Utilization <= small.Utilization {
+		t.Error("transposed mapping should beat Carat FP8 at batch 8")
+	}
+}
+
+func TestCaratFP8FunctionalPathRejected(t *testing.T) {
+	a := tensor.NewMatrix(2, 4)
+	q := QuantizeWeights(tensor.NewMatrix(4, 2), 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Multiply(GEMMConfig{Rows: 8, Cols: 8, Mapping: MappingCaratFP8}, a, q)
+}
+
+func TestMappingStrings(t *testing.T) {
+	if MappingMugi.String() != "mugi" || MappingCaratBF16.String() != "carat-bf16" ||
+		MappingCaratFP8.String() != "carat-fp8" {
+		t.Error("mapping names")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mugi/internal/nonlinear"
+	"mugi/internal/numerics"
+)
+
+// LUT is the iSRAM lookup table of the VLP approximation (paper Fig. 3):
+// rows are indexed by (sign, rounded mantissa) and each row holds the
+// nonlinear results for every exponent in the LUT window, so that a row can
+// be value-reused by all inputs sharing the S-M pair while each input
+// subscribes its own exponent entry.
+type LUT struct {
+	op      nonlinear.Op
+	manBits int
+	// EMin/EMax delimit the stored exponent window [EMin, EMax], inclusive.
+	EMin, EMax int
+	// signed indicates both signs are stored (SiLU/GELU); softmax inputs
+	// are non-positive so only the negative sign plane exists and positive
+	// lookups fall back to it with sign 0 rows equal to exp of +|x| being
+	// impossible post max-subtraction.
+	signed bool
+	// table[signPlane][mantissa][expIdx]
+	table [][][]float64
+}
+
+// NewLUT precomputes the table. For exp (softmax kernel) only the negative
+// plane is stored since inputs are max-subtracted; for SiLU/GELU both
+// planes are stored, doubling the LUT as the paper notes (§4.1).
+func NewLUT(op nonlinear.Op, manBits, eMin, eMax int) *LUT {
+	if manBits < 1 || manBits > 8 {
+		panic(fmt.Sprintf("core: LUT manBits %d out of range [1,8]", manBits))
+	}
+	if eMin > eMax {
+		panic(fmt.Sprintf("core: LUT window [%d,%d] empty", eMin, eMax))
+	}
+	l := &LUT{op: op, manBits: manBits, EMin: eMin, EMax: eMax, signed: op != nonlinear.Exp}
+	planes := 1
+	if l.signed {
+		planes = 2
+	}
+	nMan := 1 << manBits
+	nExp := eMax - eMin + 1
+	l.table = make([][][]float64, planes)
+	for p := 0; p < planes; p++ {
+		sign := float64(1)
+		if (l.signed && p == 1) || !l.signed {
+			sign = -1
+		}
+		l.table[p] = make([][]float64, nMan)
+		for m := 0; m < nMan; m++ {
+			row := make([]float64, nExp)
+			for e := 0; e < nExp; e++ {
+				x := sign * (1 + float64(m)/float64(nMan)) * math.Ldexp(1, eMin+e)
+				row[e] = nonlinear.Exact(op, x)
+			}
+			l.table[p][m] = row
+		}
+	}
+	return l
+}
+
+// Op reports the approximated function.
+func (l *LUT) Op() nonlinear.Op { return l.op }
+
+// ManBits reports the rounded mantissa width.
+func (l *LUT) ManBits() int { return l.manBits }
+
+// Size reports the number of stored entries, the iSRAM footprint driver
+// (paper Fig. 6 sweeps "LUT size" = number of exponents stored).
+func (l *LUT) Size() int {
+	planes := 1
+	if l.signed {
+		planes = 2
+	}
+	return planes * (1 << l.manBits) * (l.EMax - l.EMin + 1)
+}
+
+// Exponents reports the stored window width.
+func (l *LUT) Exponents() int { return l.EMax - l.EMin + 1 }
+
+// Row returns the LUT row for a sign/mantissa pair restricted to the
+// sliding window [winLo, winLo+width): this is the vector broadcast across
+// the array during the value-reuse phase.
+func (l *LUT) Row(sign, mantissa, winLo, width int) []float64 {
+	if winLo < l.EMin || winLo+width-1 > l.EMax {
+		panic(fmt.Sprintf("core: sliding window [%d,%d] outside LUT [%d,%d]",
+			winLo, winLo+width-1, l.EMin, l.EMax))
+	}
+	plane := 0
+	if l.signed && sign == 1 {
+		plane = 1
+	}
+	off := winLo - l.EMin
+	return l.table[plane][mantissa][off : off+width]
+}
+
+// lookupClamped applies the paper's clamping rules (§4): exponents below
+// the window underflow — the input is treated as zero, giving op(0); for
+// exponents above the window, softmax saturates at the most negative LUT
+// input (largest stored magnitude) while SiLU/GELU pass the input through
+// following their identity/zero asymptotes. orig is the unrounded input
+// word (the value the PP block muxes on pass-through).
+func (l *LUT) lookupClamped(f numerics.Fields, winLo, width int, orig float64) float64 {
+	switch f.Class {
+	case numerics.ClassZero:
+		return nonlinear.Exact(l.op, 0)
+	case numerics.ClassNaN:
+		return math.NaN()
+	case numerics.ClassInf:
+		// PP muxes the asymptote.
+		return l.overflow(f.Sign, orig)
+	}
+	if f.Exp < winLo {
+		// Underflow: treated as zero input.
+		return nonlinear.Exact(l.op, 0)
+	}
+	if f.Exp >= winLo+width {
+		return l.overflow(f.Sign, orig)
+	}
+	plane := 0
+	if l.signed && f.Sign == 1 {
+		plane = 1
+	}
+	if !l.signed && f.Sign == 0 {
+		// exp LUT stores the negative plane only; a positive input can
+		// only be the max element itself (value 0), already handled, or a
+		// numerical artifact — saturate at exp(0) = 1.
+		return 1
+	}
+	return l.table[plane][f.Mantissa][f.Exp-l.EMin]
+}
+
+// overflow applies the operation's saturation behaviour for magnitudes
+// beyond the stored window.
+func (l *LUT) overflow(sign int, value float64) float64 {
+	switch l.op {
+	case nonlinear.Exp:
+		// Max-subtracted input far below zero: exp saturates at the
+		// largest stored magnitude's output, the smallest LUT value.
+		nMan := 1 << l.manBits
+		return l.table[0][nMan-1][l.EMax-l.EMin]
+	case nonlinear.SiLU, nonlinear.GELU:
+		if sign == 1 {
+			return 0 // left asymptote
+		}
+		return value // identity asymptote: value "passes through"
+	case nonlinear.Tanh:
+		if sign == 1 {
+			return -1
+		}
+		return 1
+	case nonlinear.Sin, nonlinear.Cos:
+		// Sin/Cos inputs are range-reduced before the split (see
+		// Approx.Approx), so overflow means a misplaced window; saturate
+		// at the largest stored magnitude like the other periodic-free
+		// clamps.
+		plane := 0
+		if l.signed && sign == 1 {
+			plane = 1
+		}
+		nMan := 1 << l.manBits
+		return l.table[plane][nMan-1][l.EMax-l.EMin]
+	}
+	panic("core: unknown op overflow")
+}

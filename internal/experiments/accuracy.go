@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mugi/internal/accuracy"
+	"mugi/internal/core"
+	"mugi/internal/dist"
+	"mugi/internal/nonlinear"
+)
+
+// proxyFor builds the evaluation proxy of one family, sized for the
+// harness (slightly smaller than the unit-test default for speed while
+// keeping the depth drift observable).
+func proxyFor(f dist.Family) *accuracy.Proxy {
+	cfg := accuracy.DefaultProxy(f)
+	cfg.Layers, cfg.SeqLen, cfg.Dim, cfg.FFN = 6, 24, 16, 32
+	return accuracy.NewProxy(cfg)
+}
+
+// Fig4 regenerates the distribution profiles: per family and op, the
+// value histogram and the exponent histogram with the dominant 8-wide
+// window (the paper's Fig. 4 panels).
+func Fig4() *Report {
+	r := &Report{ID: "fig4", Title: "Input value/exponent distributions"}
+	rng := rand.New(rand.NewSource(4))
+	for _, fam := range dist.Families() {
+		for _, op := range []nonlinear.Op{nonlinear.Exp, nonlinear.SiLU, nonlinear.GELU} {
+			p, err := dist.ProfileFor(fam, op)
+			if err != nil {
+				continue
+			}
+			for _, depth := range []float64{0, 1} {
+				var xs []float64
+				if op == nonlinear.Exp {
+					for i := 0; i < 64; i++ {
+						xs = append(xs, p.SoftmaxInputs(rng, depth, 128)...)
+					}
+				} else {
+					xs = p.ActivationInputs(rng, depth, 8192)
+				}
+				var nz []float64
+				for _, x := range xs {
+					if x != 0 {
+						nz = append(nz, x)
+					}
+				}
+				hist := dist.ExponentHistogram(nz, -24)
+				lo, mass := dist.DominantWindow(hist, 8)
+				r.Printf("%-10s %-5v depth=%.0f  exp window [%3d,%3d] covers %5.1f%% of mass",
+					fam, op, depth, lo, lo+7, mass*100)
+			}
+		}
+	}
+	return r
+}
+
+// Fig6 regenerates the accuracy heatmaps: proxy perplexity for VLP, PWL
+// and Taylor configuration sweeps per model family, with the best cell
+// marked, plus the exact baseline.
+func Fig6() *Report {
+	r := &Report{ID: "fig6", Title: "Perplexity heatmaps per approximation"}
+	for _, fam := range dist.Families() {
+		p := proxyFor(fam)
+		exactImpl := accuracy.Uniform(accuracy.ExactImpl(p.Config().Activation))
+		exact := p.Perplexity(exactImpl)
+		if fam == dist.SwinV2 || fam == dist.ViViT {
+			// The paper reports Loss for the vision models; perplexity is
+			// its monotone transform, so the heatmap orderings coincide.
+			r.Printf("%s: exact loss %.3f (heatmaps in PPL = exp(loss))", fam, p.Loss(exactImpl))
+		} else {
+			r.Printf("%s: exact PPL %.3f", fam, exact)
+		}
+
+		printHeat := func(h accuracy.Heatmap) {
+			br, bc, best := h.Best()
+			r.Printf("  %-9s best %.3f at %s=%v %s=%v", h.Name, best,
+				h.RowLabel, h.RowVals[br], h.ColLabel, h.ColVals[bc])
+			for ri := range h.Values {
+				line := "    "
+				for ci := range h.Values[ri] {
+					line += trim(h.Values[ri][ci])
+				}
+				r.Printf("%s", line)
+			}
+		}
+		printHeat(accuracy.SweepVLPSoftmax(p, []int{8, 10, 12}, []int{0, 1, 2, 3, 4}))
+		printHeat(accuracy.SweepVLPActivation(p, []int{8, 10, 12}, []int{0, 1, 2, 3, 4}))
+		printHeat(accuracy.SweepPWLSoftmax(p, []int{20, 22, 24}, []float64{-20, -18, -16}))
+		printHeat(accuracy.SweepPWLActivation(p, []int{20, 22, 24}, []float64{3, 5, 7}))
+		printHeat(accuracy.SweepTaylorSoftmax(p, []int{7, 8, 9}, []float64{-7, -5, -3}))
+		full := accuracy.FullVLPPerplexity(p, 12, 4, 4)
+		r.Printf("  Full VLP PPL (SM+S/G): %.3f", full)
+	}
+	return r
+}
+
+// trim renders a heatmap cell, masking blown-up values like the paper's
+// empty boxes.
+func trim(v float64) string {
+	if v >= 1000 {
+		return "  masked"
+	}
+	return fmt.Sprintf(" %7.2f", v)
+}
+
+// Fig7 regenerates the per-layer tuning curves for the Llama-2 proxy
+// (paper Fig. 7 runs 7B and 13B; the proxy runs two depths).
+func Fig7() *Report {
+	r := &Report{ID: "fig7", Title: "Per-layer window tuning"}
+	for _, layers := range []int{6, 8} {
+		cfg := accuracy.DefaultProxy(dist.Llama2)
+		cfg.Layers, cfg.SeqLen, cfg.Dim, cfg.FFN = layers, 24, 16, 32
+		p := accuracy.NewProxy(cfg)
+		steps := accuracy.PerLayerTuning(p, 8, -2, 5, 5)
+		r.Printf("Llama-2 proxy (%d layers):", layers)
+		for _, s := range steps {
+			label := "untuned"
+			if s.Layer >= 0 {
+				label = fmt.Sprintf("layer %d", s.Layer)
+			}
+			r.Printf("  %-9s eMax=%2d  PPL %.4f", label, s.EMax, s.PPL)
+		}
+		r.Printf("  final PPL: %.4f", steps[len(steps)-1].PPL)
+	}
+	return r
+}
+
+// Fig8 regenerates the relative-error curves of the best configurations:
+// exp/SiLU/GELU under VLP vs PWL vs Taylor vs PA.
+func Fig8() *Report {
+	r := &Report{ID: "fig8", Title: "Relative error vs input"}
+	cases := []struct {
+		label string
+		ap    nonlinear.Approximator
+		lo    float64
+		hi    float64
+	}{
+		{"Exp PWL", nonlinear.NewPWLSoftmax(-16, 22), -16, -0.01},
+		{"Exp Taylor", nonlinear.NewTaylor(nonlinear.Exp, -5, 9), -8, -0.01},
+		{"Exp Mugi", vlpExp(), -16, -0.01},
+		{"SiLU PWL", nonlinear.NewPWLActivation(nonlinear.SiLU, 5, 22), -5, 5},
+		{"SiLU PA", nonlinear.NewPA(nonlinear.SiLU), -5, 5},
+		{"SiLU Mugi", vlpAct(nonlinear.SiLU), -5, 5},
+		{"GELU PWL", nonlinear.NewPWLActivation(nonlinear.GELU, 5, 22), -5, 5},
+		{"GELU Mugi", vlpAct(nonlinear.GELU), -5, 5},
+	}
+	for _, c := range cases {
+		pts := nonlinear.ErrorCurve(c.ap, c.lo, c.hi, 512)
+		st := nonlinear.Summarize(pts)
+		// The value-centric metric: error weighted by where inputs live
+		// (near 0 for activations, upper window for softmax).
+		r.Printf("%-11s max|rel| %7.2f%%  mean|rel| %6.2f%%  RMSE %.4g",
+			c.label, st.MaxAbsRel*100, st.MeanAbsRel*100, st.RMSE)
+	}
+	return r
+}
+
+func vlpExp() nonlinear.Approximator {
+	a := core.New(core.LUTSizeConfig(nonlinear.Exp, 12, 4))
+	a.SetWindow(-3)
+	return a
+}
+
+func vlpAct(op nonlinear.Op) nonlinear.Approximator {
+	a := core.New(core.LUTSizeConfig(op, 12, 4))
+	a.SetWindow(-3)
+	return a
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
+		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
+		"moe", "online"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("tab3")
+	if err != nil || e.ID != "tab3" {
+		t.Fatalf("ByID: %v %+v", err, e)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean %v", g)
+	}
+	if geomean(nil) != 0 || geomean([]float64{1, 0}) != 0 {
+		t.Error("degenerate geomean")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "t"}
+	r.Printf("a %d", 1)
+	out := r.String()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "a 1\n") {
+		t.Errorf("rendering: %q", out)
+	}
+}
+
+// Each experiment must run and produce non-trivial output containing its
+// key design names; the quantitative assertions live in the substrate
+// packages' own tests.
+func TestFastExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig4", "fig8", "fig11", "tab3", "fig13", "fig15", "fig16", "ablations", "moe", "online"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := e.Run().String()
+		if len(out) < 200 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", id, len(out))
+		}
+		if !strings.Contains(strings.ToLower(out), "mugi") && id != "fig4" && id != "fig8" && id != "online" {
+			t.Errorf("%s: output does not mention Mugi", id)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	out := Table3().String()
+	for _, needle := range []string{"Mugi (256)", "Carat (128)", "SA (16)", "Tensor", "4x4"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Table 3 missing %q", needle)
+		}
+	}
+}
+
+func TestFig11Content(t *testing.T) {
+	out := Fig11().String()
+	for _, needle := range []string{"Mugi (128)", "VA-FP", "Taylor", "PWL"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Fig 11 missing %q", needle)
+		}
+	}
+}
+
+func TestFig12Content(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep in -short mode")
+	}
+	out := Fig12().String()
+	for _, needle := range []string{"Projection", "Attention", "FFN", "70B GQA"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Fig 12 missing %q", needle)
+		}
+	}
+}
+
+func TestSlowAccuracyExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweeps in -short mode")
+	}
+	for _, id := range []string{"fig6", "fig7"} {
+		e, _ := ByID(id)
+		out := e.Run().String()
+		if !strings.Contains(out, "PPL") {
+			t.Errorf("%s: no PPL in output", id)
+		}
+	}
+}
+
+func TestFig14Fig17Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps in -short mode")
+	}
+	if out := Fig14().String(); !strings.Contains(out, "batch") {
+		t.Error("fig14 missing batch column")
+	}
+	if out := Fig17().String(); !strings.Contains(out, "8x8") {
+		t.Error("fig17 missing 8x8 mesh")
+	}
+}

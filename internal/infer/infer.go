@@ -1,0 +1,318 @@
+// Package infer is the functional integration layer: a small
+// autoregressive transformer decoder that executes the *entire* Mugi
+// operator stack end to end — WOQ INT4 weight GEMMs on the VLP array, a
+// KVQ INT4 quantized KV cache with grouped-query attention, VLP softmax
+// with sliding windows, VLP activations, RoPE via VLP sine/cosine (paper
+// §7.1), and RMSNorm on the vector unit. It exists to prove the pieces
+// compose: greedy decoding under the full VLP stack must track the exact
+// floating-point reference.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mugi/internal/core"
+	"mugi/internal/nonlinear"
+	"mugi/internal/tensor"
+)
+
+// Config sizes the decoder.
+type Config struct {
+	Layers     int
+	Heads      int
+	KVHeads    int
+	Dim        int
+	FFN        int
+	Vocab      int
+	MaxSeq     int
+	RoPE       bool
+	Activation nonlinear.Op
+	Seed       int64
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Layers < 1 || c.Heads < 1 || c.KVHeads < 1 || c.Dim < 1 || c.FFN < 1 ||
+		c.Vocab < 2 || c.MaxSeq < 1 {
+		return fmt.Errorf("infer: non-positive dimension in %+v", c)
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("infer: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	}
+	if c.Heads%c.KVHeads != 0 {
+		return fmt.Errorf("infer: heads %d not divisible by KV heads %d", c.Heads, c.KVHeads)
+	}
+	return nil
+}
+
+// HeadDim is the per-head width.
+func (c Config) HeadDim() int { return c.Dim / c.Heads }
+
+// Group is the GQA group size.
+func (c Config) Group() int { return c.Heads / c.KVHeads }
+
+// Ops bundles the pluggable nonlinear implementations.
+type Ops struct {
+	Name    string
+	Softmax func(dst, xs []float64)
+	Act     func(x float64) float64
+	Sin     func(x float64) float64
+	Cos     func(x float64) float64
+}
+
+// ExactOps is the floating-point reference stack.
+func ExactOps(act nonlinear.Op) Ops {
+	return Ops{
+		Name:    "exact",
+		Softmax: func(dst, xs []float64) { nonlinear.SoftmaxExact(dst, xs) },
+		Act:     func(x float64) float64 { return nonlinear.Exact(act, x) },
+		Sin:     math.Sin,
+		Cos:     math.Cos,
+	}
+}
+
+// VLPOps is the full Mugi stack: sliding-window VLP softmax, VLP
+// activation, and VLP sine/cosine for RoPE.
+func VLPOps(act nonlinear.Op) Ops {
+	sm := core.New(core.Config{Op: nonlinear.Exp, LUTEMin: -8, LUTEMax: 5})
+	actA := core.New(core.Config{Op: act, LUTEMin: -8, LUTEMax: 5})
+	// RoPE angles need a wider mantissa than the softmax/activation LUTs:
+	// sin/cos error is the full input perturbation (|sin'|<=1 with inputs
+	// up to pi), so 3 bits would cost ~0.2 absolute error. The paper notes
+	// RoPE is a poor fit for the 8-cycle array (§7.1, "utilization might
+	// be low"); the 5-bit LUT models the offload path's precision.
+	sin := core.New(core.Config{Op: nonlinear.Sin, ManBits: 5, LUTEMin: -9, LUTEMax: 1})
+	sin.SetWindow(-6)
+	cos := core.New(core.Config{Op: nonlinear.Cos, ManBits: 5, LUTEMin: -9, LUTEMax: 1})
+	cos.SetWindow(-6)
+	return Ops{
+		Name:    "VLP",
+		Softmax: func(dst, xs []float64) { sm.Softmax(dst, xs) },
+		Act:     actA.Approx,
+		Sin:     sin.Approx,
+		Cos:     cos.Approx,
+	}
+}
+
+// layer holds one block's quantized weights (WOQ INT4). Weights are
+// quantized once at construction; the exact reference runs against the
+// dequantized values so that VLP-vs-exact differences isolate the
+// nonlinear approximations, exactly like the paper's accuracy studies.
+type layer struct {
+	wq, wk, wv, wo core.QuantMatrix
+	w1, w2         core.QuantMatrix
+}
+
+// Engine is a deterministic decoder instance with its KV cache.
+type Engine struct {
+	cfg    Config
+	embed  *tensor.Matrix
+	layers []layer
+	wout   core.QuantMatrix
+	cache  *KVCache
+	pos    int
+	array  core.GEMMConfig
+}
+
+// New builds the decoder with seeded random weights.
+func New(cfg Config) (*Engine, error) {
+	// The zero value of nonlinear.Op is Exp, which is not a valid FFN
+	// activation; this also catches uninitialized configs early.
+	if cfg.Activation == nonlinear.Exp {
+		return nil, fmt.Errorf("infer: exp is not a valid FFN activation")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	std := 1 / math.Sqrt(float64(cfg.Dim))
+	e := &Engine{
+		cfg:   cfg,
+		embed: tensor.RandNormal(rng, cfg.Vocab, cfg.Dim, 1),
+		cache: NewKVCache(cfg),
+		array: core.GEMMConfig{Rows: 128, Cols: 8, Mapping: core.MappingMugi},
+	}
+	kvDim := cfg.KVHeads * cfg.HeadDim()
+	for l := 0; l < cfg.Layers; l++ {
+		e.layers = append(e.layers, layer{
+			wq: quant(tensor.RandNormal(rng, cfg.Dim, cfg.Dim, std)),
+			wk: quant(tensor.RandNormal(rng, cfg.Dim, kvDim, std)),
+			wv: quant(tensor.RandNormal(rng, cfg.Dim, kvDim, std)),
+			wo: quant(tensor.RandNormal(rng, cfg.Dim, cfg.Dim, std)),
+			w1: quant(tensor.RandNormal(rng, cfg.Dim, cfg.FFN, std)),
+			w2: quant(tensor.RandNormal(rng, cfg.FFN, cfg.Dim, std/2)),
+		})
+	}
+	e.wout = quant(tensor.RandNormal(rng, cfg.Dim, cfg.Vocab, std))
+	return e, nil
+}
+
+func quant(w *tensor.Matrix) core.QuantMatrix {
+	group := w.Rows
+	if group > 64 {
+		group = 64
+	}
+	return core.QuantizeWeights(w, 4, group)
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Pos returns the number of cached positions.
+func (e *Engine) Pos() int { return e.pos }
+
+// Reset clears the KV cache.
+func (e *Engine) Reset() {
+	e.cache = NewKVCache(e.cfg)
+	e.pos = 0
+}
+
+// matmul runs x (1×K) through the quantized weights on the VLP array.
+func (e *Engine) matmul(x []float32, w core.QuantMatrix) []float32 {
+	a := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
+	out, _ := core.Multiply(e.array, a, w)
+	return out.Data
+}
+
+func rmsNorm(x []float32) {
+	ss := 0.0
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	rms := math.Sqrt(ss/float64(len(x)) + 1e-8)
+	for i := range x {
+		x[i] = float32(float64(x[i]) / rms)
+	}
+}
+
+// applyRoPE rotates consecutive dimension pairs of one head vector by the
+// position-dependent angles, using the provided sin/cos implementations.
+func applyRoPE(v []float32, pos int, sin, cos func(float64) float64) {
+	hd := len(v)
+	for i := 0; i+1 < hd; i += 2 {
+		theta := float64(pos) * math.Pow(10000, -float64(i)/float64(hd))
+		s, c := sin(theta), cos(theta)
+		a, b := float64(v[i]), float64(v[i+1])
+		v[i] = float32(a*c - b*s)
+		v[i+1] = float32(a*s + b*c)
+	}
+}
+
+// Step feeds one token through the decoder, appends to the KV cache, and
+// returns the output logits.
+func (e *Engine) Step(token int, ops Ops) ([]float64, error) {
+	if token < 0 || token >= e.cfg.Vocab {
+		return nil, fmt.Errorf("infer: token %d outside vocab %d", token, e.cfg.Vocab)
+	}
+	if e.pos >= e.cfg.MaxSeq {
+		return nil, fmt.Errorf("infer: KV cache full (%d positions)", e.cfg.MaxSeq)
+	}
+	cfg := e.cfg
+	hd := cfg.HeadDim()
+	g := cfg.Group()
+
+	x := make([]float32, cfg.Dim)
+	copy(x, e.embed.Row(token))
+
+	for li := range e.layers {
+		l := &e.layers[li]
+		q := e.matmul(x, l.wq)
+		k := e.matmul(x, l.wk)
+		v := e.matmul(x, l.wv)
+		if cfg.RoPE {
+			for h := 0; h < cfg.Heads; h++ {
+				applyRoPE(q[h*hd:(h+1)*hd], e.pos, ops.Sin, ops.Cos)
+			}
+			for h := 0; h < cfg.KVHeads; h++ {
+				applyRoPE(k[h*hd:(h+1)*hd], e.pos, ops.Sin, ops.Cos)
+			}
+		}
+		e.cache.Append(li, k, v)
+
+		attnOut := make([]float32, cfg.Dim)
+		ctxLen := e.pos + 1
+		scores := make([]float64, ctxLen)
+		probs := make([]float64, ctxLen)
+		for kvh := 0; kvh < cfg.KVHeads; kvh++ {
+			keys := e.cache.Keys(li, kvh)     // headDim × ctxLen QuantMatrix
+			values := e.cache.Values(li, kvh) // ctxLen × headDim QuantMatrix
+			for qi := 0; qi < g; qi++ {
+				h := kvh*g + qi
+				qHead := q[h*hd : (h+1)*hd]
+				// Scores: q (1×hd) against the KVQ key cache.
+				sRow := e.matmul(qHead, keys)
+				scale := 1 / math.Sqrt(float64(hd))
+				for t := 0; t < ctxLen; t++ {
+					scores[t] = float64(sRow[t]) * scale
+				}
+				ops.Softmax(probs, scores)
+				// Context: probabilities against the KVQ value cache.
+				pRow := make([]float32, ctxLen)
+				for t := range probs {
+					pRow[t] = float32(probs[t])
+				}
+				cRow := e.matmul(pRow, values)
+				copy(attnOut[h*hd:(h+1)*hd], cRow)
+			}
+		}
+		proj := e.matmul(attnOut, l.wo)
+		for i := range x {
+			x[i] += proj[i]
+		}
+		rmsNorm(x)
+
+		hidden := e.matmul(x, l.w1)
+		for i := range hidden {
+			hidden[i] = float32(ops.Act(float64(hidden[i])))
+		}
+		ffn := e.matmul(hidden, l.w2)
+		for i := range x {
+			x[i] += ffn[i]
+		}
+		rmsNorm(x)
+	}
+	e.pos++
+
+	logitsF := e.matmul(x, e.wout)
+	logits := make([]float64, len(logitsF))
+	for i, v := range logitsF {
+		logits[i] = float64(v)
+	}
+	return logits, nil
+}
+
+// Generate greedily decodes n tokens after feeding the prompt, returning
+// the generated ids.
+func (e *Engine) Generate(prompt []int, n int, ops Ops) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("infer: empty prompt")
+	}
+	var logits []float64
+	var err error
+	for _, t := range prompt {
+		if logits, err = e.Step(t, ops); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		next := argmax(logits)
+		out = append(out, next)
+		if logits, err = e.Step(next, ops); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func argmax(xs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

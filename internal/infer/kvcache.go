@@ -1,0 +1,162 @@
+package infer
+
+import (
+	"fmt"
+
+	"mugi/internal/core"
+	"mugi/internal/tensor"
+)
+
+// KVCache is the KVQ INT4 quantized key/value cache (paper §2.3.3):
+// every appended key/value head-vector is quantized symmetrically with one
+// scale per token per head, and attention GEMMs read the codes directly —
+// the Mugi mapping places them on the array rows.
+type KVCache struct {
+	cfg Config
+	// keys[layer][kvHead] collects per-token INT4 codes (headDim each).
+	keyCodes [][][]int8
+	keyScale [][][]float32
+	valCodes [][][]int8
+	valScale [][][]float32
+	tokens   int
+}
+
+// NewKVCache allocates an empty cache for the configuration.
+func NewKVCache(cfg Config) *KVCache {
+	c := &KVCache{cfg: cfg}
+	c.keyCodes = make([][][]int8, cfg.Layers)
+	c.keyScale = make([][][]float32, cfg.Layers)
+	c.valCodes = make([][][]int8, cfg.Layers)
+	c.valScale = make([][][]float32, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		c.keyCodes[l] = make([][]int8, cfg.KVHeads)
+		c.keyScale[l] = make([][]float32, cfg.KVHeads)
+		c.valCodes[l] = make([][]int8, cfg.KVHeads)
+		c.valScale[l] = make([][]float32, cfg.KVHeads)
+	}
+	return c
+}
+
+// Tokens reports the cached context length.
+func (c *KVCache) Tokens() int { return c.tokens }
+
+// Bytes reports the approximate cache footprint: 4 bits per code plus one
+// float16-equivalent scale per token per head.
+func (c *KVCache) Bytes() int64 {
+	perToken := int64(2*c.cfg.KVHeads*c.cfg.HeadDim())/2 + int64(2*c.cfg.KVHeads)*2
+	return perToken * int64(c.tokens) * int64(c.cfg.Layers)
+}
+
+// quantizeHead encodes one head vector to INT4 with a single scale.
+func quantizeHead(v []float32) ([]int8, float32) {
+	maxAbs := float32(0)
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 7
+	if scale == 0 {
+		scale = 1
+	}
+	codes := make([]int8, len(v))
+	for i, x := range v {
+		q := int(float64(x)/float64(scale) + 0.5)
+		if x < 0 {
+			q = int(float64(x)/float64(scale) - 0.5)
+		}
+		if q > 7 {
+			q = 7
+		}
+		if q < -7 {
+			q = -7
+		}
+		codes[i] = int8(q)
+	}
+	return codes, scale
+}
+
+// Append quantizes and stores one token's key/value projections for a
+// layer (k and v are the full kvDim-wide vectors). The first layer append
+// of a step advances the token count.
+func (c *KVCache) Append(layer int, k, v []float32) {
+	if layer < 0 || layer >= c.cfg.Layers {
+		panic(fmt.Sprintf("infer: layer %d out of range", layer))
+	}
+	hd := c.cfg.HeadDim()
+	if len(k) != c.cfg.KVHeads*hd || len(v) != c.cfg.KVHeads*hd {
+		panic("infer: KV append width mismatch")
+	}
+	for h := 0; h < c.cfg.KVHeads; h++ {
+		kc, ks := quantizeHead(k[h*hd : (h+1)*hd])
+		vc, vs := quantizeHead(v[h*hd : (h+1)*hd])
+		c.keyCodes[layer][h] = append(c.keyCodes[layer][h], kc...)
+		c.keyScale[layer][h] = append(c.keyScale[layer][h], ks)
+		c.valCodes[layer][h] = append(c.valCodes[layer][h], vc...)
+		c.valScale[layer][h] = append(c.valScale[layer][h], vs)
+	}
+	if layer == 0 {
+		c.tokens++
+	}
+}
+
+// Keys returns the key cache of one head as a headDim × tokens
+// QuantMatrix (K^T layout): reduction over headDim, one column — and one
+// scale — per cached token. This is exactly the operand the scores GEMM
+// consumes.
+func (c *KVCache) Keys(layer, head int) core.QuantMatrix {
+	hd := c.cfg.HeadDim()
+	tokens := len(c.keyScale[layer][head])
+	q := core.QuantMatrix{
+		Rows: hd, Cols: tokens, Bits: 4, GroupSize: hd,
+		Codes:  make([]int8, hd*tokens),
+		Scales: make([]float32, tokens),
+	}
+	copy(q.Scales, c.keyScale[layer][head])
+	for t := 0; t < tokens; t++ {
+		for d := 0; d < hd; d++ {
+			// stored token-major; QuantMatrix is row(=d)-major.
+			q.Codes[d*tokens+t] = c.keyCodes[layer][head][t*hd+d]
+		}
+	}
+	return q
+}
+
+// Values returns the value cache of one head as a tokens × headDim
+// QuantMatrix: reduction over tokens with per-token scales (GroupSize 1
+// along the reduction axis), the operand of the context GEMM.
+func (c *KVCache) Values(layer, head int) core.QuantMatrix {
+	hd := c.cfg.HeadDim()
+	tokens := len(c.valScale[layer][head])
+	q := core.QuantMatrix{
+		Rows: tokens, Cols: hd, Bits: 4, GroupSize: 1,
+		Codes:  make([]int8, tokens*hd),
+		Scales: make([]float32, hd*tokens),
+	}
+	copy(q.Codes, c.valCodes[layer][head])
+	for n := 0; n < hd; n++ {
+		for t := 0; t < tokens; t++ {
+			q.Scales[n*tokens+t] = c.valScale[layer][head][t]
+		}
+	}
+	return q
+}
+
+// DequantKeys reconstructs the float key matrix (tokens × headDim) for
+// reference checks.
+func (c *KVCache) DequantKeys(layer, head int) *tensor.Matrix {
+	hd := c.cfg.HeadDim()
+	tokens := len(c.keyScale[layer][head])
+	m := tensor.NewMatrix(tokens, hd)
+	for t := 0; t < tokens; t++ {
+		s := c.keyScale[layer][head][t]
+		for d := 0; d < hd; d++ {
+			m.Set(t, d, float32(c.keyCodes[layer][head][t*hd+d])*s)
+		}
+	}
+	return m
+}

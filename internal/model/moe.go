@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+
+	"mugi/internal/nonlinear"
+)
+
+// MoEConfig extends a dense configuration with mixture-of-experts FFNs
+// (paper §7.2: MoE replaces the FFN with selective experts chosen by a
+// softmax gating network; the paper conjectures Mugi generalizes and
+// leaves validation to future work — this is that validation path).
+type MoEConfig struct {
+	// Base supplies the attention geometry and layer count; its FFN width
+	// becomes the dense-equivalent reference.
+	Base Config
+	// Experts is the expert count per layer.
+	Experts int
+	// TopK is the number of experts each token routes to.
+	TopK int
+	// ExpertFFN is the hidden width of one expert.
+	ExpertFFN int
+}
+
+// Validate checks the MoE geometry.
+func (m MoEConfig) Validate() error {
+	if err := m.Base.Validate(); err != nil {
+		return err
+	}
+	if m.Experts < 2 || m.TopK < 1 || m.TopK > m.Experts || m.ExpertFFN < 1 {
+		return fmt.Errorf("model: invalid MoE geometry %d experts top-%d width %d",
+			m.Experts, m.TopK, m.ExpertFFN)
+	}
+	return nil
+}
+
+// Params counts weights: attention projections plus all expert FFNs and
+// the gating matrix.
+func (m MoEConfig) Params() int64 {
+	h := int64(m.Base.Hidden)
+	kv := int64(m.Base.KVDim())
+	attn := (h*h + 2*h*kv + h*h) * int64(m.Base.Layers)
+	ffnPerExpert := 2 * h * int64(m.ExpertFFN)
+	if m.Base.GatedFFN {
+		ffnPerExpert = 3 * h * int64(m.ExpertFFN)
+	}
+	gate := h * int64(m.Experts)
+	return attn + (ffnPerExpert*int64(m.Experts)+gate)*int64(m.Base.Layers)
+}
+
+// DecodeOps expands one MoE decoding step. The FFN ops are replaced by the
+// gating GEMM, the gating softmax, and TopK expert FFN passes; only the
+// activated experts' weights are streamed from DRAM.
+func (m MoEConfig) DecodeOps(batch, ctxLen int) Workload {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	w := m.Base.DecodeOps(batch, ctxLen)
+	// Strip the dense FFN ops and the dense activation.
+	var ops []Op
+	for _, op := range w.Ops {
+		if op.Class == FFN || op.Name == "activation" {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	h := m.Base.Hidden
+	ops = append(ops,
+		// Gating network: a small GEMM followed by a softmax over experts.
+		Op{Class: FFN, Name: "gate-router", M: batch, K: h, N: m.Experts, WeightBits: 4, Repeat: 1},
+		Op{Class: Nonlinear, Name: "softmax", Elements: batch * m.Experts, NL: nonlinear.Exp},
+	)
+	// Each token runs TopK experts; at the batch level this is TopK
+	// expert-FFN passes of the full batch (tokens are routed, but the
+	// MAC total is batch × TopK × expert size regardless of routing).
+	if m.Base.GatedFFN {
+		ops = append(ops,
+			Op{Class: FFN, Name: "expert-gate", M: batch, K: h, N: m.ExpertFFN, WeightBits: 4, Repeat: m.TopK},
+			Op{Class: FFN, Name: "expert-up", M: batch, K: h, N: m.ExpertFFN, WeightBits: 4, Repeat: m.TopK},
+			Op{Class: FFN, Name: "expert-down", M: batch, K: m.ExpertFFN, N: h, WeightBits: 4, Repeat: m.TopK},
+		)
+	} else {
+		ops = append(ops,
+			Op{Class: FFN, Name: "expert-up", M: batch, K: h, N: m.ExpertFFN, WeightBits: 4, Repeat: m.TopK},
+			Op{Class: FFN, Name: "expert-down", M: batch, K: m.ExpertFFN, N: h, WeightBits: 4, Repeat: m.TopK},
+		)
+	}
+	ops = append(ops, Op{Class: Nonlinear, Name: "activation", Elements: batch * m.ExpertFFN * m.TopK, NL: m.Base.Activation})
+	w.Ops = ops
+
+	// DRAM: attention weights stream fully; only the activated experts'
+	// weights stream (worst case min(Experts, batch×TopK) distinct
+	// experts per layer).
+	active := batch * m.TopK
+	if active > m.Experts {
+		active = m.Experts
+	}
+	hh := int64(h)
+	ffnPerExpert := 2 * hh * int64(m.ExpertFFN)
+	if m.Base.GatedFFN {
+		ffnPerExpert = 3 * hh * int64(m.ExpertFFN)
+	}
+	attn := (hh*hh + 2*hh*int64(m.Base.KVDim()) + hh*hh) * int64(m.Base.Layers)
+	gate := hh * int64(m.Experts) * int64(m.Base.Layers)
+	streamed := attn + gate + ffnPerExpert*int64(active)*int64(m.Base.Layers)
+	w.WeightStreamBytes = streamed * 4 / 8 // INT4
+	return w
+}

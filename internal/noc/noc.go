@@ -1,0 +1,87 @@
+// Package noc models the 2D mesh network-on-chip that assembles multiple
+// accelerator nodes (paper §4.2, §5.2.3): three channels (input, weight,
+// output), output-stationary tiling with inter-node accumulation, 400 MHz,
+// and link/router bandwidth provisioned so the network never bottlenecks
+// the arrays.
+package noc
+
+import (
+	"fmt"
+
+	"mugi/internal/arch"
+)
+
+// Channels is the number of independent NoC channels (input/weight/output).
+const Channels = 3
+
+// Mesh is a rows×cols grid of identical nodes. The 1×1 mesh is a single
+// node.
+type Mesh struct {
+	Rows, Cols int
+}
+
+// Single is the degenerate single-node mesh.
+var Single = Mesh{Rows: 1, Cols: 1}
+
+// NewMesh validates and builds a mesh.
+func NewMesh(rows, cols int) Mesh {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", rows, cols))
+	}
+	return Mesh{Rows: rows, Cols: cols}
+}
+
+// Nodes is the node count.
+func (m Mesh) Nodes() int { return m.Rows * m.Cols }
+
+// String renders "4x4".
+func (m Mesh) String() string { return fmt.Sprintf("%dx%d", m.Rows, m.Cols) }
+
+// Router cost constants, calibrated with the rest of the 45 nm table: the
+// Fig. 13 NoC-level bars put the 4×4 NoC overhead at ~0.5 mm².
+const (
+	// RouterAreaMM2 is the per-node router + link area.
+	RouterAreaMM2 = 0.031
+	// RouterEnergyPerByte is the hop energy per byte moved on a channel.
+	RouterEnergyPerByte = 0.8e-12
+)
+
+// AreaMM2 is the total NoC area (routers and links), zero for a single
+// node.
+func (m Mesh) AreaMM2() float64 {
+	if m.Nodes() == 1 {
+		return 0
+	}
+	return float64(m.Nodes()) * RouterAreaMM2
+}
+
+// LeakageWatts is the NoC static power.
+func (m Mesh) LeakageWatts(c arch.CostTable) float64 {
+	return m.AreaMM2() * c.LeakagePerMM2
+}
+
+// TransferEnergy is the energy to move `bytes` across the mesh with the
+// average hop count of a 2D mesh under uniform tiling ((rows+cols)/3 hops).
+func (m Mesh) TransferEnergy(bytes int64) float64 {
+	if m.Nodes() == 1 {
+		return 0
+	}
+	avgHops := float64(m.Rows+m.Cols) / 3
+	return float64(bytes) * RouterEnergyPerByte * avgHops
+}
+
+// SpeedupFactor is the compute speedup from tiling GEMMs evenly across
+// nodes with output-stationary inter-node accumulation: linear in node
+// count (the paper's Table 3 shows 16 × Mugi(256) single-node throughput
+// for the 4×4 mesh).
+func (m Mesh) SpeedupFactor() float64 { return float64(m.Nodes()) }
+
+// RequiredBandwidth returns the aggregate NoC bandwidth (bytes/s) needed so
+// that streaming `bytesPerPass` over `seconds` never stalls the arrays;
+// the paper configures channels to always supply at least this.
+func (m Mesh) RequiredBandwidth(bytesPerPass int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytesPerPass) / seconds
+}

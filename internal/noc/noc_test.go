@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"testing"
+
+	"mugi/internal/arch"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(4, 4)
+	if m.Nodes() != 16 || m.String() != "4x4" {
+		t.Errorf("mesh: %d %q", m.Nodes(), m.String())
+	}
+	if Single.Nodes() != 1 {
+		t.Error("single mesh")
+	}
+	if m.SpeedupFactor() != 16 {
+		t.Errorf("speedup %v", m.SpeedupFactor())
+	}
+}
+
+func TestMeshValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMesh(0, 4)
+}
+
+func TestSingleNodeHasNoNoCOverhead(t *testing.T) {
+	if Single.AreaMM2() != 0 {
+		t.Error("single node should have no NoC area")
+	}
+	if Single.TransferEnergy(1e9) != 0 {
+		t.Error("single node should have no transfer energy")
+	}
+	if Single.LeakageWatts(arch.Cost45nm) != 0 {
+		t.Error("single node should have no NoC leakage")
+	}
+}
+
+func TestNoCAreaMatchesFig13(t *testing.T) {
+	// Fig. 13: a 4×4 NoC adds ~0.5 mm² on top of the node areas.
+	got := NewMesh(4, 4).AreaMM2()
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("4x4 NoC area %v, want ~0.5", got)
+	}
+}
+
+func TestTransferEnergyScalesWithHops(t *testing.T) {
+	small := NewMesh(2, 2).TransferEnergy(1 << 30)
+	large := NewMesh(8, 8).TransferEnergy(1 << 30)
+	if large <= small {
+		t.Error("larger mesh should cost more energy per byte")
+	}
+}
+
+func TestRequiredBandwidth(t *testing.T) {
+	m := NewMesh(4, 4)
+	if bw := m.RequiredBandwidth(256e9, 1.0); bw != 256e9 {
+		t.Errorf("bw %v", bw)
+	}
+	if bw := m.RequiredBandwidth(1, 0); bw != 0 {
+		t.Errorf("zero-time bw %v", bw)
+	}
+}

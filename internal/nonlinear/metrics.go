@@ -1,0 +1,84 @@
+package nonlinear
+
+import "math"
+
+// ErrorPoint is one sample of an approximation error curve (Fig. 8).
+type ErrorPoint struct {
+	X float64
+	// Rel is the relative error (approx-exact)/|exact| in [-1, ...];
+	// -1 ("-100%") means the output was flushed to zero.
+	Rel float64
+	// Abs is the absolute error approx-exact.
+	Abs float64
+}
+
+// ErrorCurve samples the relative error of a against the exact reference
+// on n points uniformly spaced over [lo, hi].
+func ErrorCurve(a Approximator, lo, hi float64, n int) []ErrorPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]ErrorPoint, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		exact := Exact(a.Op(), x)
+		got := a.Approx(x)
+		p := ErrorPoint{X: x, Abs: got - exact}
+		if exact != 0 {
+			p.Rel = (got - exact) / math.Abs(exact)
+		} else {
+			p.Rel = 0
+			if got != 0 {
+				p.Rel = math.Inf(1)
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// ErrorStats summarizes an error curve.
+type ErrorStats struct {
+	MaxAbsRel  float64 // max |relative error| over the curve
+	MeanAbsRel float64
+	RMSE       float64 // root mean squared absolute error
+}
+
+// Summarize reduces a curve to aggregate statistics, skipping infinities.
+func Summarize(pts []ErrorPoint) ErrorStats {
+	var s ErrorStats
+	n := 0
+	for _, p := range pts {
+		if math.IsInf(p.Rel, 0) || math.IsNaN(p.Rel) {
+			continue
+		}
+		ar := math.Abs(p.Rel)
+		if ar > s.MaxAbsRel {
+			s.MaxAbsRel = ar
+		}
+		s.MeanAbsRel += ar
+		s.RMSE += p.Abs * p.Abs
+		n++
+	}
+	if n > 0 {
+		s.MeanAbsRel /= float64(n)
+		s.RMSE = math.Sqrt(s.RMSE / float64(n))
+	}
+	return s
+}
+
+// WeightedError computes the mean absolute output error of a over the given
+// input samples, the "value-centric" metric: errors are weighted by how
+// often inputs actually occur in the workload rather than uniformly over
+// the axis (paper §3.3-3.4).
+func WeightedError(a Approximator, samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range samples {
+		sum += math.Abs(a.Approx(x) - Exact(a.Op(), x))
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,51 @@
+package nonlinear
+
+import "fmt"
+
+// PA is the partial-approximation baseline (paper Fig. 8, citing the
+// MobileNetV3 hard-swish family): the sigmoid inside SiLU/GELU is replaced
+// by the piecewise-linear "hard sigmoid" ReLU6(x+3)/6 while the outer
+// multiplication by x stays exact — hence "partial".
+type PA struct {
+	fn Op
+}
+
+// NewPA builds the partial approximator for SiLU or GELU.
+func NewPA(op Op) *PA {
+	if op != SiLU && op != GELU {
+		panic(fmt.Sprintf("nonlinear: PA supports SiLU/GELU, not %v", op))
+	}
+	return &PA{fn: op}
+}
+
+func hardSigmoid(x float64) float64 {
+	v := (x + 3) / 6
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Op implements Approximator.
+func (p *PA) Op() Op { return p.fn }
+
+// Approx implements Approximator. SiLU becomes hard-swish; GELU uses the
+// sigmoid form GELU(x) ~= x*sigmoid(1.702x) with the hard sigmoid.
+func (p *PA) Approx(x float64) float64 {
+	switch p.fn {
+	case SiLU:
+		return x * hardSigmoid(x)
+	case GELU:
+		return x * hardSigmoid(1.702*x)
+	}
+	panic("unreachable")
+}
+
+// CyclesPerElement implements Approximator: clamp plus two multiplies.
+func (p *PA) CyclesPerElement() float64 { return 3 }
+
+// Name implements Approximator.
+func (p *PA) Name() string { return "PA" }

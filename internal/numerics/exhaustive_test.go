@@ -1,0 +1,95 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBF16ExhaustiveRoundTrip decodes every one of the 65536 BF16 code
+// points and re-encodes it; the codec must be the identity on its own
+// image (NaN payloads may canonicalize but must stay NaN).
+func TestBF16ExhaustiveRoundTrip(t *testing.T) {
+	for c := 0; c < 1<<16; c++ {
+		v := BF16(c).Float32()
+		back := BF16FromFloat32(v)
+		if math.IsNaN(float64(v)) {
+			if !math.IsNaN(float64(back.Float32())) {
+				t.Fatalf("code %#04x: NaN lost", c)
+			}
+			continue
+		}
+		if back.Float32() != v {
+			t.Fatalf("code %#04x: %v -> %v", c, v, back.Float32())
+		}
+	}
+}
+
+// TestSplitExhaustiveOverBF16 splits every finite normal BF16 value at
+// every supported mantissa width and checks the reconstruction bound and
+// exponent consistency.
+func TestSplitExhaustiveOverBF16(t *testing.T) {
+	for _, mb := range []int{3, 5, 7} {
+		for c := 0; c < 1<<16; c++ {
+			v := BF16(c).Float32()
+			if Classify(v) != ClassNormal {
+				continue
+			}
+			f := Split(v, mb)
+			if f.Class == ClassZero {
+				continue // subnormal flush
+			}
+			if f.Class != ClassNormal {
+				t.Fatalf("mb=%d code %#04x (%v): class %v", mb, c, v, f.Class)
+			}
+			r := f.Value()
+			rel := math.Abs(r-float64(v)) / math.Abs(float64(v))
+			if rel > math.Ldexp(1, -(mb+1))+1e-12 {
+				t.Fatalf("mb=%d %v: rel %v", mb, v, rel)
+			}
+			// The reconstructed exponent is the true binary exponent.
+			if want := math.Ilogb(math.Abs(r)); want != f.Exp {
+				t.Fatalf("mb=%d %v: exp %d vs ilogb %d", mb, v, f.Exp, want)
+			}
+		}
+	}
+}
+
+// TestFP8ExhaustiveOrdering: decoded finite values must be weakly ordered
+// by their sign-magnitude code order within each sign.
+func TestFP8ExhaustiveOrdering(t *testing.T) {
+	for _, f := range []FP8Format{E4M3, E5M2} {
+		prev := math.Inf(-1)
+		for c := 0; c < 128; c++ { // positive half ascends
+			v := float64(FP8Decode(FP8(c), f))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < prev {
+				t.Fatalf("%v: code %#02x decodes %v < previous %v", f, c, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestFP8EncodePicksNearest: for a dense sample of inputs, no other code
+// point is strictly closer than the encoder's choice.
+func TestFP8EncodePicksNearest(t *testing.T) {
+	// Precompute the finite code values.
+	var vals []float64
+	for c := 0; c < 256; c++ {
+		v := float64(FP8Decode(FP8(c), E4M3))
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	for x := -440.0; x <= 440.0; x += 0.613 {
+		got := float64(FP8Decode(FP8Encode(float32(x), E4M3), E4M3))
+		gotErr := math.Abs(got - x)
+		for _, v := range vals {
+			if math.Abs(v-x) < gotErr-1e-9 {
+				t.Fatalf("x=%v: encoder chose %v (err %v) but %v is closer", x, got, gotErr, v)
+			}
+		}
+	}
+}

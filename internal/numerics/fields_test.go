@@ -1,0 +1,122 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitBasic(t *testing.T) {
+	// -1.5 = sign 1, mantissa 0b100 (3-bit), exp 0.
+	f := Split(-1.5, 3)
+	if f.Sign != 1 || f.Mantissa != 4 || f.Exp != 0 || f.Class != ClassNormal {
+		t.Fatalf("Split(-1.5,3) = %+v", f)
+	}
+	if got := f.Value(); got != -1.5 {
+		t.Errorf("Value() = %v", got)
+	}
+	// 6.0 = 1.5 * 2^2.
+	f = Split(6, 3)
+	if f.Sign != 0 || f.Mantissa != 4 || f.Exp != 2 {
+		t.Fatalf("Split(6,3) = %+v", f)
+	}
+}
+
+func TestSplitSpecials(t *testing.T) {
+	if f := Split(0, 3); f.Class != ClassZero || f.Value() != 0 {
+		t.Errorf("zero: %+v", f)
+	}
+	if f := Split(float32(math.Inf(-1)), 3); f.Class != ClassInf || !math.IsInf(f.Value(), -1) {
+		t.Errorf("-inf: %+v", f)
+	}
+	if f := Split(float32(math.NaN()), 3); f.Class != ClassNaN || !math.IsNaN(f.Value()) {
+		t.Errorf("nan: %+v", f)
+	}
+	// Subnormals flush to zero.
+	if f := Split(math.Float32frombits(1), 3); f.Class != ClassZero {
+		t.Errorf("subnormal: %+v", f)
+	}
+}
+
+func TestSplitMantissaOverflowCarries(t *testing.T) {
+	// 1.9999 with a 3-bit mantissa rounds up to 2.0 = 1.0 * 2^1.
+	f := Split(1.9999, 3)
+	if f.Mantissa != 0 || f.Exp != 1 {
+		t.Fatalf("Split(1.9999,3) = %+v", f)
+	}
+	if f.Value() != 2.0 {
+		t.Errorf("Value() = %v", f.Value())
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	if s := Split(-1.5, 3).String(); s != "1-4-0" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Split(float32(math.NaN()), 3).String(); s != "nan" {
+		t.Errorf("NaN String() = %q", s)
+	}
+}
+
+func TestSplitRoundTripProperty(t *testing.T) {
+	// Property: the reconstructed value has relative error <= 2^-(manBits+1)
+	// and preserves the sign and exponent neighborhood.
+	for _, manBits := range []int{3, 4, 7} {
+		mb := manBits
+		f := func(x float32) bool {
+			if Classify(x) != ClassNormal {
+				return true
+			}
+			fields := Split(x, mb)
+			v := fields.Value()
+			rel := math.Abs(v-float64(x)) / math.Abs(float64(x))
+			return rel <= math.Ldexp(1, -(mb+1))+1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("manBits=%d: %v", mb, err)
+		}
+	}
+}
+
+func TestSplitSignProperty(t *testing.T) {
+	f := func(x float32) bool {
+		if Classify(x) != ClassNormal {
+			return true
+		}
+		fields := Split(x, 3)
+		return (fields.Sign == 1) == (x < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitBF16MatchesManualNarrowing(t *testing.T) {
+	f := func(x float32) bool {
+		a := SplitBF16(x, 3)
+		b := Split(BF16FromFloat32(x).Float32(), 3)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundMantissa(t *testing.T) {
+	if got := RoundMantissa(1.0625, 3); got != 1.0 {
+		// 1.0625 = 1 + 1/16; halfway between 1.0 and 1.125 -> even (1.0).
+		t.Errorf("RoundMantissa(1.0625,3) = %v", got)
+	}
+	if got := RoundMantissa(1.1, 3); got != 1.125 {
+		t.Errorf("RoundMantissa(1.1,3) = %v", got)
+	}
+}
+
+func TestSplitPanicsOnBadManBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(1, 0)
+}

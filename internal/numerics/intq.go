@@ -1,0 +1,105 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// IntQ describes a symmetric integer quantization format (INT4 or INT8)
+// with a per-group float scale, as used by weight-only quantization (WOQ)
+// and KV-cache quantization (KVQ) in the paper (§2.3.2–2.3.3).
+type IntQ struct {
+	// Bits is the signed integer width; 4 for WOQ/KVQ in the paper.
+	Bits int
+	// GroupSize is the number of consecutive elements sharing one scale.
+	// Zero means a single scale for the whole tensor.
+	GroupSize int
+}
+
+// INT4 and INT8 are the quantizers used in the paper's BF16-INT4 GEMMs.
+var (
+	INT4 = IntQ{Bits: 4, GroupSize: 128}
+	INT8 = IntQ{Bits: 8, GroupSize: 128}
+)
+
+// MaxQ returns the largest positive code, e.g. 7 for INT4.
+func (q IntQ) MaxQ() int { return 1<<(q.Bits-1) - 1 }
+
+// MinQ returns the most negative code, e.g. -8 for INT4.
+func (q IntQ) MinQ() int { return -(1 << (q.Bits - 1)) }
+
+// QuantizedTensor holds integer codes plus per-group scales. Dequantized
+// value of element i is float32(Codes[i]) * Scales[i/GroupSize].
+type QuantizedTensor struct {
+	Format IntQ
+	Codes  []int8
+	Scales []float32
+}
+
+// Quantize encodes data symmetrically: per group, scale = maxAbs/MaxQ and
+// codes are round-to-nearest with saturation.
+func (q IntQ) Quantize(data []float32) QuantizedTensor {
+	if q.Bits < 2 || q.Bits > 8 {
+		panic(fmt.Sprintf("numerics: IntQ bits %d out of range [2,8]", q.Bits))
+	}
+	group := q.GroupSize
+	if group <= 0 || group > len(data) {
+		group = len(data)
+	}
+	if group == 0 {
+		return QuantizedTensor{Format: q}
+	}
+	nGroups := (len(data) + group - 1) / group
+	out := QuantizedTensor{
+		Format: q,
+		Codes:  make([]int8, len(data)),
+		Scales: make([]float32, nGroups),
+	}
+	for g := 0; g < nGroups; g++ {
+		lo, hi := g*group, (g+1)*group
+		if hi > len(data) {
+			hi = len(data)
+		}
+		maxAbs := float64(0)
+		for _, v := range data[lo:hi] {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / float64(q.MaxQ())
+		if scale == 0 {
+			scale = 1
+		}
+		out.Scales[g] = float32(scale)
+		for i := lo; i < hi; i++ {
+			code := roundHalfEven(float64(data[i]) / scale)
+			if code > float64(q.MaxQ()) {
+				code = float64(q.MaxQ())
+			}
+			if code < float64(q.MinQ()) {
+				code = float64(q.MinQ())
+			}
+			out.Codes[i] = int8(code)
+		}
+	}
+	return out
+}
+
+// Dequantize reconstructs the float values.
+func (t QuantizedTensor) Dequantize() []float32 {
+	group := t.Format.GroupSize
+	if group <= 0 || group > len(t.Codes) {
+		group = len(t.Codes)
+	}
+	out := make([]float32, len(t.Codes))
+	for i, c := range t.Codes {
+		out[i] = float32(c) * t.Scales[i/group]
+	}
+	return out
+}
+
+// MaxAbsError returns the worst-case reconstruction error bound for one
+// group with the given scale: half an integer step.
+func (t QuantizedTensor) MaxAbsError(group int) float32 {
+	return t.Scales[group] / 2
+}

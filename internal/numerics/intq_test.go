@@ -1,0 +1,119 @@
+package numerics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntQRanges(t *testing.T) {
+	if INT4.MaxQ() != 7 || INT4.MinQ() != -8 {
+		t.Errorf("INT4 range [%d,%d]", INT4.MinQ(), INT4.MaxQ())
+	}
+	if INT8.MaxQ() != 127 || INT8.MinQ() != -128 {
+		t.Errorf("INT8 range [%d,%d]", INT8.MinQ(), INT8.MaxQ())
+	}
+}
+
+func TestQuantizeEmpty(t *testing.T) {
+	qt := INT4.Quantize(nil)
+	if len(qt.Codes) != 0 || len(qt.Scales) != 0 {
+		t.Errorf("empty quantize: %+v", qt)
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	qt := INT4.Quantize(data)
+	back := qt.Dequantize()
+	group := qt.Format.GroupSize
+	for i := range data {
+		bound := float64(qt.MaxAbsError(i/group)) + 1e-6
+		if err := math.Abs(float64(back[i] - data[i])); err > bound {
+			t.Fatalf("elem %d: err %v > bound %v", i, err, bound)
+		}
+	}
+}
+
+func TestQuantizeCodesInRangeProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		data := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				data = append(data, v)
+			}
+		}
+		qt := INT4.Quantize(data)
+		for _, c := range qt.Codes {
+			if int(c) > INT4.MaxQ() || int(c) < INT4.MinQ() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSignPreservedProperty(t *testing.T) {
+	// Property: dequantized values never flip sign (symmetric quantization
+	// maps through zero).
+	f := func(raw []float32) bool {
+		data := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				data = append(data, v)
+			}
+		}
+		qt := INT8.Quantize(data)
+		back := qt.Dequantize()
+		for i := range data {
+			if data[i] > 0 && back[i] < 0 || data[i] < 0 && back[i] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeAllZeros(t *testing.T) {
+	qt := INT4.Quantize(make([]float32, 256))
+	for _, c := range qt.Codes {
+		if c != 0 {
+			t.Fatalf("nonzero code %d", c)
+		}
+	}
+	back := qt.Dequantize()
+	for _, v := range back {
+		if v != 0 {
+			t.Fatalf("nonzero dequant %v", v)
+		}
+	}
+}
+
+func TestQuantizeGroupBoundaries(t *testing.T) {
+	// Two groups with very different ranges must use independent scales.
+	q := IntQ{Bits: 4, GroupSize: 4}
+	data := []float32{100, -50, 25, 10, 0.1, -0.05, 0.025, 0.01}
+	qt := q.Quantize(data)
+	if len(qt.Scales) != 2 {
+		t.Fatalf("want 2 scales, got %d", len(qt.Scales))
+	}
+	if qt.Scales[0] <= qt.Scales[1] {
+		t.Errorf("scales not independent: %v", qt.Scales)
+	}
+	back := qt.Dequantize()
+	// Small group must retain relative precision.
+	if math.Abs(float64(back[4]-0.1)) > 0.1/7+1e-6 {
+		t.Errorf("small group lost precision: %v", back[4:])
+	}
+}

@@ -1,0 +1,279 @@
+// Package numerics implements the number formats used throughout the Mugi
+// reproduction: BF16, FP8 (E4M3 and E5M2), and sub-byte integer formats
+// (INT4/INT8) with per-group scales, plus the sign-mantissa-exponent field
+// split that drives VLP temporal coding.
+//
+// All codecs are exact bit-level implementations: encoding uses
+// round-to-nearest-even, decoding is lossless, and special values (zero,
+// infinity, NaN, subnormals) follow IEEE-754 conventions restricted to each
+// format's field widths.
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class labels the special-value category of a floating-point input. The
+// Mugi post-processing (PP) block multiplexes these onto dedicated outputs
+// instead of subscribing a LUT row.
+type Class uint8
+
+const (
+	// ClassNormal marks ordinary finite nonzero values.
+	ClassNormal Class = iota
+	// ClassZero marks positive or negative zero.
+	ClassZero
+	// ClassInf marks positive or negative infinity.
+	ClassInf
+	// ClassNaN marks not-a-number payloads.
+	ClassNaN
+	// ClassSubnormal marks denormalized values (exponent field zero,
+	// nonzero mantissa).
+	ClassSubnormal
+)
+
+// String returns the conventional name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNormal:
+		return "normal"
+	case ClassZero:
+		return "zero"
+	case ClassInf:
+		return "inf"
+	case ClassNaN:
+		return "nan"
+	case ClassSubnormal:
+		return "subnormal"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Classify reports the special-value class of x.
+func Classify(x float32) Class {
+	bits := math.Float32bits(x)
+	exp := (bits >> 23) & 0xff
+	man := bits & 0x7fffff
+	switch {
+	case exp == 0xff && man != 0:
+		return ClassNaN
+	case exp == 0xff:
+		return ClassInf
+	case exp == 0 && man == 0:
+		return ClassZero
+	case exp == 0:
+		return ClassSubnormal
+	default:
+		return ClassNormal
+	}
+}
+
+// BF16 is a bfloat16 value stored in its 16-bit wire format:
+// 1 sign bit, 8 exponent bits, 7 mantissa bits.
+type BF16 uint16
+
+// BF16FromFloat32 converts x to bfloat16 with round-to-nearest-even.
+// NaNs are quieted so the payload survives truncation.
+func BF16FromFloat32(x float32) BF16 {
+	bits := math.Float32bits(x)
+	if Classify(x) == ClassNaN {
+		// Force a quiet NaN that remains NaN after truncation.
+		return BF16(bits>>16 | 0x0040)
+	}
+	// Round to nearest even on the truncated 16 bits.
+	const roundBit = uint32(1) << 15
+	lower := bits & 0xffff
+	bits >>= 16
+	if lower > roundBit || (lower == roundBit && bits&1 == 1) {
+		bits++
+	}
+	return BF16(bits)
+}
+
+// Float32 decodes the bfloat16 value exactly.
+func (b BF16) Float32() float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// Sign reports the sign bit (1 for negative).
+func (b BF16) Sign() int { return int(b >> 15) }
+
+// ExpBits returns the raw (biased) 8-bit exponent field.
+func (b BF16) ExpBits() int { return int(b>>7) & 0xff }
+
+// ManBits returns the raw 7-bit mantissa field.
+func (b BF16) ManBits() int { return int(b) & 0x7f }
+
+// FP8Format selects one of the two OCP FP8 encodings.
+type FP8Format uint8
+
+const (
+	// E4M3 has 4 exponent bits (bias 7) and 3 mantissa bits. Following the
+	// OCP spec it has no infinities; the all-ones exponent with all-ones
+	// mantissa encodes NaN.
+	E4M3 FP8Format = iota
+	// E5M2 has 5 exponent bits (bias 15) and 2 mantissa bits with IEEE-like
+	// infinities and NaNs.
+	E5M2
+)
+
+// String names the format.
+func (f FP8Format) String() string {
+	if f == E4M3 {
+		return "E4M3"
+	}
+	return "E5M2"
+}
+
+func (f FP8Format) expBits() int {
+	if f == E4M3 {
+		return 4
+	}
+	return 5
+}
+
+func (f FP8Format) manBits() int {
+	if f == E4M3 {
+		return 3
+	}
+	return 2
+}
+
+func (f FP8Format) bias() int {
+	if f == E4M3 {
+		return 7
+	}
+	return 15
+}
+
+// MaxFinite returns the largest finite magnitude representable in f.
+func (f FP8Format) MaxFinite() float32 {
+	if f == E4M3 {
+		return 448 // 0b1111.111 x 2^(15-7-3) = 1.75 * 2^8
+	}
+	return 57344 // 1.75 * 2^15
+}
+
+// FP8 is an 8-bit float in the wire format selected by its codec.
+type FP8 uint8
+
+// FP8Encode converts x to FP8 in the given format with round-to-nearest-even
+// and saturation to the maximum finite value (the convention used by LLM
+// quantization kernels).
+func FP8Encode(x float32, f FP8Format) FP8 {
+	eb, mb, bias := f.expBits(), f.manBits(), f.bias()
+	signBit := uint8(0)
+	if math.Signbit(float64(x)) {
+		signBit = 1 << 7
+	}
+	switch Classify(x) {
+	case ClassNaN:
+		if f == E4M3 {
+			return FP8(signBit | 0x7f)
+		}
+		return FP8(signBit | 0x7e | 0x01)
+	case ClassZero:
+		return FP8(signBit)
+	case ClassInf:
+		if f == E4M3 {
+			// E4M3 has no inf: saturate.
+			return FP8(signBit | 0x7e)
+		}
+		return FP8(signBit | uint8((1<<eb)-1)<<mb)
+	}
+	ax := float64(math.Abs(float64(x)))
+	if float32(ax) > f.MaxFinite() {
+		// Saturate (after RNE check below for exactly-representable edge).
+		if f == E4M3 {
+			return FP8(signBit | 0x7e)
+		}
+		return FP8(signBit | uint8((1<<eb)-2)<<mb | uint8((1<<mb)-1))
+	}
+	// Decompose ax = frac * 2^exp2 with frac in [0.5, 1).
+	frac, exp2 := math.Frexp(ax)
+	// Normalize to mantissa in [1, 2): m = frac*2, e = exp2-1.
+	e := exp2 - 1
+	m := frac * 2
+	minExp := 1 - bias // unbiased exponent of the smallest normal
+	var mantissa, biasedExp int
+	if e < minExp {
+		// Subnormal: value = mant * 2^(minExp - mb)
+		scaled := ax / math.Ldexp(1, minExp-mb)
+		mantissa = int(roundHalfEven(scaled))
+		if mantissa >= 1<<mb {
+			// Rounded up into the smallest normal.
+			biasedExp = 1
+			mantissa = 0
+		} else {
+			biasedExp = 0
+		}
+	} else {
+		scaled := (m - 1) * math.Ldexp(1, mb)
+		mantissa = int(roundHalfEven(scaled))
+		biasedExp = e + bias
+		if mantissa >= 1<<mb {
+			mantissa = 0
+			biasedExp++
+		}
+		maxBiased := (1 << eb) - 1
+		limitExp, limitMan := maxBiased, 0
+		if f == E4M3 {
+			limitExp, limitMan = maxBiased, (1<<mb)-2 // 0x7e pattern
+			if biasedExp > maxBiased || (biasedExp == maxBiased && mantissa > limitMan) {
+				return FP8(signBit | 0x7e)
+			}
+		} else {
+			// E5M2: biased exponent maxBiased is inf/NaN space; saturate
+			// to the largest finite.
+			if biasedExp >= limitExp {
+				return FP8(signBit | uint8(maxBiased-1)<<mb | uint8((1<<mb)-1))
+			}
+		}
+	}
+	return FP8(signBit | uint8(biasedExp)<<mb | uint8(mantissa))
+}
+
+// FP8Decode converts the wire byte back to float32 exactly.
+func FP8Decode(v FP8, f FP8Format) float32 {
+	eb, mb, bias := f.expBits(), f.manBits(), f.bias()
+	sign := float64(1)
+	if v&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(v>>uint(mb)) & ((1 << eb) - 1)
+	man := int(v) & ((1 << mb) - 1)
+	if f == E4M3 {
+		if exp == (1<<eb)-1 && man == (1<<mb)-1 {
+			return float32(math.NaN())
+		}
+	} else {
+		if exp == (1<<eb)-1 {
+			if man != 0 {
+				return float32(math.NaN())
+			}
+			return float32(sign * math.Inf(1))
+		}
+	}
+	if exp == 0 {
+		return float32(sign * float64(man) * math.Ldexp(1, 1-bias-mb))
+	}
+	return float32(sign * (1 + float64(man)/float64(int(1)<<mb)) * math.Ldexp(1, exp-bias))
+}
+
+func roundHalfEven(x float64) float64 {
+	floor := math.Floor(x)
+	diff := x - floor
+	switch {
+	case diff > 0.5:
+		return floor + 1
+	case diff < 0.5:
+		return floor
+	default:
+		if math.Mod(floor, 2) == 0 {
+			return floor
+		}
+		return floor + 1
+	}
+}

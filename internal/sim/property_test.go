@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mugi/internal/arch"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+)
+
+// TestCyclesMonotoneInContext: more KV context can never take fewer array
+// cycles on any design.
+func TestCyclesMonotoneInContext(t *testing.T) {
+	designs := []arch.Design{
+		arch.Mugi(128), arch.Carat(256),
+		arch.SystolicArray(16, false), arch.TensorCore(),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := 64 + rng.Intn(2048)
+		batch := 1 + rng.Intn(16)
+		d := designs[rng.Intn(len(designs))]
+		a := simulate(d, noc.Single, model.Llama2_7B.DecodeOps(batch, ctx))
+		b := simulate(d, noc.Single, model.Llama2_7B.DecodeOps(batch, ctx*2))
+		return b.TotalCycles >= a.TotalCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCyclesMonotoneInBatch: larger batches never reduce total cycles.
+func TestCyclesMonotoneInBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		batch := 1 + rng.Intn(16)
+		d := arch.Mugi(64 << rng.Intn(3))
+		a := simulate(d, noc.Single, model.Llama2_13B.DecodeOps(batch, 512))
+		b := simulate(d, noc.Single, model.Llama2_13B.DecodeOps(batch*2, 512))
+		return b.TotalCycles >= a.TotalCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyConservation: the class breakdown plus DRAM and NoC terms must
+// sum to the dynamic total; utilization is a valid fraction.
+func TestEnergyConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		designs := []arch.Design{
+			arch.Mugi(128), arch.MugiL(128), arch.Carat(128),
+			arch.SystolicArray(16, rng.Intn(2) == 0),
+			arch.SIMDArray(16, rng.Intn(2) == 0),
+			arch.TensorCore(),
+		}
+		d := designs[rng.Intn(len(designs))]
+		mesh := noc.Single
+		if rng.Intn(2) == 0 {
+			mesh = noc.NewMesh(2, 2)
+		}
+		w := model.LlamaModels()[rng.Intn(3)].DecodeOps(1+rng.Intn(8), 128+rng.Intn(1024))
+		r := simulate(d, mesh, w)
+		sum := r.DRAMEnergy + mesh.TransferEnergy(r.DRAMBytes)
+		for _, e := range r.EnergyByClass {
+			if e < 0 {
+				return false
+			}
+			sum += e
+		}
+		if diff := sum - r.DynamicEnergy; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return r.Utilization > 0 && r.Utilization <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeshNeverSlower: adding nodes never reduces throughput.
+func TestMeshNeverSlower(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := model.Llama2_7B.DecodeOps(1+rng.Intn(8), 256+rng.Intn(2048))
+		d := arch.Mugi(128)
+		single := simulate(d, noc.Single, w)
+		mesh := simulate(d, noc.NewMesh(2, 2), w)
+		return mesh.TokensPerSecond >= single.TokensPerSecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSecondsIsMaxOfTerms: the overlap model picks the binding term.
+func TestSecondsIsMaxOfTerms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := model.LlamaModels()[rng.Intn(3)].DecodeOps(1+rng.Intn(16), 128+rng.Intn(4096))
+		r := simulate(arch.Mugi(64<<rng.Intn(3)), noc.Single, w)
+		want := r.ComputeSeconds
+		if r.MemorySeconds > want {
+			want = r.MemorySeconds
+		}
+		return r.Seconds == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoESimulation: the MoE workload runs through the simulator and is
+// faster than the dense equivalent on every design (top-2 of 8
+// quarter-width experts is half the FFN compute).
+func TestMoESimulation(t *testing.T) {
+	moe := model.MoEConfig{Base: model.Llama2_7B, Experts: 8, TopK: 2, ExpertFFN: model.Llama2_7B.FFN / 4}
+	dense := moe.Base.DecodeOps(8, 4096)
+	sparse := moe.DecodeOps(8, 4096)
+	for _, d := range []arch.Design{arch.Mugi(256), arch.SystolicArray(16, false)} {
+		rd := simulate(d, noc.Single, dense)
+		rm := simulate(d, noc.Single, sparse)
+		if rm.TokensPerSecond <= rd.TokensPerSecond {
+			t.Errorf("%s: MoE %.3f <= dense %.3f tok/s", d.Name, rm.TokensPerSecond, rd.TokensPerSecond)
+		}
+	}
+	// Selective streaming shows at small batch: 1 token routes to 2 of 8
+	// experts, so far less than the full expert footprint moves.
+	small := simulate(arch.Mugi(256), noc.Single, moe.DecodeOps(1, 4096))
+	fullFootprint := moe.Params() / 2 // INT4 bytes
+	if small.DRAMBytes >= fullFootprint {
+		t.Errorf("batch-1 MoE DRAM %d >= full footprint %d", small.DRAMBytes, fullFootprint)
+	}
+	// At batch 8, top-2 routing touches all 8 experts: traffic approaches
+	// the full footprint.
+	big := simulate(arch.Mugi(256), noc.Single, moe.DecodeOps(8, 4096))
+	if big.DRAMBytes <= small.DRAMBytes {
+		t.Error("larger batch should activate more experts")
+	}
+}

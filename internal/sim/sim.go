@@ -1,0 +1,221 @@
+// Package sim is the reproduction of the paper's in-house architecture
+// simulator (§5.4): a cycle-level performance model plus an event-based
+// cost model. It maps a model workload (internal/model) onto a hardware
+// design (internal/arch), optionally scaled out over a mesh
+// (internal/noc), and reports cycles, latency breakdowns, utilization,
+// dynamic energy, power, DRAM traffic and the derived throughput /
+// efficiency metrics of Table 3 and Figs. 11-17.
+package sim
+
+import (
+	"fmt"
+
+	"mugi/internal/arch"
+	"mugi/internal/core"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+)
+
+// HBMBandwidth is the off-chip memory bandwidth of all evaluated systems
+// (paper Table 2): 256 GB/s.
+const HBMBandwidth = 256e9
+
+// Params bundles the simulation inputs.
+type Params struct {
+	Design arch.Design
+	Mesh   noc.Mesh
+	Cost   arch.CostTable
+	// Bandwidth is the off-chip bandwidth in bytes/s (default
+	// HBMBandwidth when zero).
+	Bandwidth float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Bandwidth == 0 {
+		p.Bandwidth = HBMBandwidth
+	}
+	if p.Mesh.Nodes() == 0 {
+		p.Mesh = noc.Single
+	}
+	if p.Cost.Frequency == 0 {
+		p.Cost = arch.Cost45nm
+	}
+	return p
+}
+
+// Result is one simulated pass.
+type Result struct {
+	Design arch.Design
+	Mesh   noc.Mesh
+
+	// CyclesByClass is the array-cycle latency breakdown (Fig. 16).
+	CyclesByClass map[model.OpClass]float64
+	// TotalCycles is the end-to-end array latency of the pass.
+	TotalCycles float64
+	// ComputeSeconds and MemorySeconds are the two overlap terms; Seconds
+	// is their max (double-buffered hierarchies hide the smaller).
+	ComputeSeconds, MemorySeconds, Seconds float64
+
+	// TokensPerSecond is the pass throughput.
+	TokensPerSecond float64
+	// EnergyByClass is dynamic energy per op class (Fig. 15's operational
+	// split), in joules per pass.
+	EnergyByClass map[model.OpClass]float64
+	// DRAMEnergy is the off-chip access energy per pass.
+	DRAMEnergy float64
+	// DynamicEnergy sums all per-pass dynamic energy.
+	DynamicEnergy float64
+	// LeakageWatts is the static power of node(s) + NoC.
+	LeakageWatts float64
+	// PowerWatts is average total power over the pass.
+	PowerWatts float64
+	// DRAMBytes is the off-chip traffic per pass.
+	DRAMBytes int64
+	// Utilization is useful MACs over array MAC capacity during GEMMs.
+	Utilization float64
+}
+
+// TokensPerJoule is the energy-efficiency axis of Table 3 (dynamic
+// energy).
+func (r Result) TokensPerJoule(tokens int) float64 {
+	if r.DynamicEnergy == 0 {
+		return 0
+	}
+	return float64(tokens) / r.DynamicEnergy
+}
+
+// TokensPerSecondPerWatt is the power-efficiency axis of Table 3.
+func (r Result) TokensPerSecondPerWatt() float64 {
+	if r.PowerWatts == 0 {
+		return 0
+	}
+	return r.TokensPerSecond / r.PowerWatts
+}
+
+// EnergyPerToken is dynamic energy per generated token (Fig. 14's
+// energy/token axis).
+func (r Result) EnergyPerToken(tokens int) float64 {
+	if tokens == 0 {
+		return 0
+	}
+	return r.DynamicEnergy / float64(tokens)
+}
+
+// gemmCycles returns array cycles and capacity (PE-equivalents) for one
+// GEMM op repetition on the design.
+func gemmCycles(d arch.Design, op model.Op) (cycles, usefulMACs, capacityMACs float64) {
+	m, k, n := op.M, op.K, op.N
+	usefulMACs = float64(op.MACs())
+	switch d.Kind {
+	case arch.KindMugi, arch.KindMugiL, arch.KindCarat:
+		// The modified Carat of §5.2.2 shares Mugi's transposed mapping;
+		// its penalty is buffer area/energy, not cycles.
+		st := core.PlanCycles(core.GEMMConfig{Rows: d.Rows, Cols: d.Cols, Mapping: core.MappingMugi},
+			m, k, n, op.WeightBits)
+		return float64(st.Cycles), usefulMACs, float64(st.Cycles) * d.PeakMACsPerCycle()
+	case arch.KindSA, arch.KindSD:
+		// Output-stationary M×N tiling: each tile streams K reduction
+		// steps; a tile computes min(M,Rows)×min(N,Cols) outputs.
+		tilesM := ceilDiv(m, d.Rows)
+		tilesN := ceilDiv(n, d.Cols)
+		c := float64(tilesM) * float64(tilesN) * float64(k)
+		return c, usefulMACs, c * d.PeakMACsPerCycle()
+	case arch.KindTensor:
+		// Fully pipelined 8×16×16 block per cycle.
+		blocks := float64(ceilDiv(m, d.Rows)) * float64(ceilDiv(n, d.Cols)) * float64(ceilDiv(k, d.Depth))
+		return blocks, usefulMACs, blocks * d.PeakMACsPerCycle()
+	}
+	panic(fmt.Sprintf("sim: unknown design kind %v", d.Kind))
+}
+
+// nlCycles returns the array/vector cycles for a nonlinear op: the
+// element-wise function plus, for softmax, the reciprocal multiply on the
+// vector unit.
+func nlCycles(d arch.Design, op model.Op) float64 {
+	elems := float64(op.Elements)
+	c := elems / d.NLElementsPerCycle()
+	if op.Name == "softmax" {
+		c += elems / float64(d.VectorLanes)
+	}
+	return c
+}
+
+// sramBytes estimates on-chip buffer traffic for one GEMM repetition:
+// activations in BF16, weights at their quantized width, outputs in BF16.
+func sramBytes(op model.Op) float64 {
+	return float64(op.M*op.K)*2 + float64(op.K*op.N)*float64(op.WeightBits)/8 + float64(op.M*op.N)*2
+}
+
+// Simulate runs one workload pass through the performance and cost models.
+func Simulate(p Params, w model.Workload) Result {
+	p = p.withDefaults()
+	d := p.Design
+	nodes := p.Mesh.SpeedupFactor()
+
+	res := Result{
+		Design:        d,
+		Mesh:          p.Mesh,
+		CyclesByClass: map[model.OpClass]float64{},
+		EnergyByClass: map[model.OpClass]float64{},
+	}
+	var usefulMACs, capacityMACs float64
+	for _, op := range w.Ops {
+		rep := float64(max(op.Repeat, 1))
+		layers := float64(w.Model.Layers)
+		if op.Class == model.Nonlinear {
+			cyc := nlCycles(d, op) * layers / nodes
+			res.CyclesByClass[model.Nonlinear] += cyc
+			res.EnergyByClass[model.Nonlinear] += float64(op.Elements) * layers *
+				(d.EnergyPerNLElement(p.Cost) + p.Cost.EnergyVecOp)
+			continue
+		}
+		cyc, useful, capacity := gemmCycles(d, op)
+		totalCyc := cyc * rep * layers / nodes
+		res.CyclesByClass[op.Class] += totalCyc
+		usefulMACs += useful * rep * layers
+		capacityMACs += capacity * rep * layers
+		idle := (capacity - useful) * rep * layers
+		energy := useful*rep*layers*d.EnergyPerMAC(p.Cost) +
+			idle*p.Cost.EnergyIdlePE +
+			sramBytes(op)*rep*layers*p.Cost.EnergySRAMByte +
+			float64(op.M*op.N)*rep*layers*p.Cost.EnergyVecOp // dequant rescale
+		res.EnergyByClass[op.Class] += energy
+	}
+	for _, c := range res.CyclesByClass {
+		res.TotalCycles += c
+	}
+	if capacityMACs > 0 {
+		res.Utilization = usefulMACs / capacityMACs
+	}
+
+	res.DRAMBytes = w.DRAMBytesPerPass()
+	res.DRAMEnergy = float64(res.DRAMBytes) * p.Cost.EnergyDRAMByte
+	res.ComputeSeconds = res.TotalCycles / p.Cost.Frequency
+	res.MemorySeconds = float64(res.DRAMBytes) / p.Bandwidth
+	res.Seconds = res.ComputeSeconds
+	if res.MemorySeconds > res.Seconds {
+		res.Seconds = res.MemorySeconds
+	}
+
+	for _, e := range res.EnergyByClass {
+		res.DynamicEnergy += e
+	}
+	res.DynamicEnergy += res.DRAMEnergy
+	res.DynamicEnergy += p.Mesh.TransferEnergy(res.DRAMBytes)
+
+	res.LeakageWatts = d.LeakageWatts(p.Cost)*nodes + p.Mesh.LeakageWatts(p.Cost)
+	if res.Seconds > 0 {
+		res.PowerWatts = res.LeakageWatts + res.DynamicEnergy/res.Seconds
+		res.TokensPerSecond = float64(w.TokensPerPass()) / res.Seconds
+	}
+	return res
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) != 0 {
+		t.Fatalf("got %v", c.Data)
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(16)
+		a := RandNormal(rng, n, n, 1)
+		id := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+		}
+		return MaxAbsDiff(MatMul(a, id), a) == 0 && MaxAbsDiff(MatMul(id, a), a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulTransposeProperty(t *testing.T) {
+	// (A·B)^T == B^T·A^T up to float32 rounding.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := RandNormal(rng, m, k, 1)
+		b := RandNormal(rng, k, n, 1)
+		lhs := MatMul(a, b).T()
+		rhs := MatMul(b.T(), a.T())
+		if MaxAbsDiff(lhs, rhs) > 1e-5 {
+			t.Fatalf("transpose identity violated: %v", MaxAbsDiff(lhs, rhs))
+		}
+	}
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 7, 5, 1)
+	x := make([]float32, 5)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	col := NewMatrix(5, 1)
+	copy(col.Data, x)
+	want := MatMul(a, col)
+	got := MatVec(a, x)
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	for name, f := range map[string]func(){
+		"matmul":  func() { MatMul(a, b) },
+		"matvec":  func() { MatVec(a, make([]float32, 2)) },
+		"diff":    func() { MaxAbsDiff(a, NewMatrix(3, 2)) },
+		"negdims": func() { NewMatrix(-1, 2) },
+		"ragged":  func() { FromRows([][]float32{{1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	a := FromRows([][]float32{{3, 4}})
+	if math.Abs(a.Frobenius()-5) > 1e-12 {
+		t.Errorf("frobenius = %v", a.Frobenius())
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Errorf("empty: %dx%d", m.Rows, m.Cols)
+	}
+}

@@ -1,0 +1,257 @@
+// Package mugi is the public API of the Mugi reproduction: value level
+// parallelism (VLP) for efficient transformer inference, after "Mugi:
+// Value Level Parallelism For Efficient LLMs" (ASPLOS 2026).
+//
+// The package is a facade over the implementation packages:
+//
+//   - VLP nonlinear approximation (sliding-window LUT with temporal
+//     subscription) and the baseline approximators (PWL, Taylor, PA,
+//     precise vector array);
+//   - VLP asymmetric BF16-INT4 GEMM with the Mugi transposed mapping,
+//     WOQ/KVQ quantization, and GQA-aware packing;
+//   - the architecture simulator: hardware designs (Mugi, Carat,
+//     systolic/SIMD arrays, FIGNA variants, tensor cores), a 2D-mesh NoC,
+//     a 45 nm cost model, and the ACT-style carbon model;
+//   - the workload model (Llama-2, Whisper, SwinV2, ViViT) and the
+//     experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// See examples/quickstart for a guided tour and DESIGN.md for the system
+// inventory.
+package mugi
+
+import (
+	"mugi/internal/arch"
+	"mugi/internal/carbon"
+	"mugi/internal/core"
+	"mugi/internal/experiments"
+	"mugi/internal/infer"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/nonlinear"
+	"mugi/internal/sim"
+	"mugi/internal/tensor"
+)
+
+// ---- VLP nonlinear approximation ----
+
+// Op identifies a nonlinear operation (Exp, SiLU, GELU, Tanh).
+type Op = nonlinear.Op
+
+// Exported nonlinear operations.
+const (
+	Exp  = nonlinear.Exp
+	SiLU = nonlinear.SiLU
+	GELU = nonlinear.GELU
+	Tanh = nonlinear.Tanh
+)
+
+// Approximator is the common interface of all nonlinear hardware
+// implementations (VLP, PWL, Taylor, PA, precise).
+type Approximator = nonlinear.Approximator
+
+// ApproxConfig parameterizes a VLP approximator: operation, rounded
+// mantissa width, stored exponent window, and sliding-window width.
+type ApproxConfig = core.Config
+
+// Approx is the VLP sliding-window LUT approximator.
+type Approx = core.Approx
+
+// NewApprox builds a VLP approximator.
+func NewApprox(cfg ApproxConfig) *Approx { return core.New(cfg) }
+
+// LUTSizeConfig builds the Fig.-6 sweep point: a LUT storing lutSize
+// exponents topped at eMax.
+func LUTSizeConfig(op Op, lutSize, eMax int) ApproxConfig {
+	return core.LUTSizeConfig(op, lutSize, eMax)
+}
+
+// Exact evaluates the reference nonlinear function.
+func Exact(op Op, x float64) float64 { return nonlinear.Exact(op, x) }
+
+// SoftmaxExact computes the numerically stable exact softmax.
+func SoftmaxExact(dst, x []float64) []float64 { return nonlinear.SoftmaxExact(dst, x) }
+
+// NewPWL, NewTaylor and NewPA build the baseline approximators.
+func NewPWL(op Op, lo, hi float64, segments int) Approximator {
+	return nonlinear.NewPWL(op, lo, hi, segments)
+}
+
+// NewTaylor builds a Horner-evaluated Taylor approximator around center.
+func NewTaylor(op Op, center float64, degree int) Approximator {
+	return nonlinear.NewTaylor(op, center, degree)
+}
+
+// NewPA builds the partial (hard-sigmoid) approximator.
+func NewPA(op Op) Approximator { return nonlinear.NewPA(op) }
+
+// ---- VLP GEMM ----
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix = tensor.Matrix
+
+// NewMatrix allocates a zeroed matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// QuantMatrix is an INT-quantized weight/KV matrix with per-column group
+// scales (WOQ/KVQ layout).
+type QuantMatrix = core.QuantMatrix
+
+// QuantizeWeights quantizes a K×N weight matrix to `bits` with symmetric
+// per-column groups of groupSize along K.
+func QuantizeWeights(w *Matrix, bits, groupSize int) QuantMatrix {
+	return core.QuantizeWeights(w, bits, groupSize)
+}
+
+// GEMMConfig describes the VLP array and operand mapping.
+type GEMMConfig = core.GEMMConfig
+
+// Mapping orientations.
+const (
+	// MappingMugi is the transposed mapping (INT4 on rows, BF16 on
+	// columns).
+	MappingMugi = core.MappingMugi
+	// MappingCaratBF16 is the ablation mapping with 128-cycle windows.
+	MappingCaratBF16 = core.MappingCaratBF16
+)
+
+// GEMMStats reports VLP GEMM timing and utilization.
+type GEMMStats = core.GEMMStats
+
+// Multiply computes activations × quantized weights on the VLP array,
+// returning the product and the cycle statistics.
+func Multiply(cfg GEMMConfig, a *Matrix, wq QuantMatrix) (*Matrix, GEMMStats) {
+	return core.Multiply(cfg, a, wq)
+}
+
+// ---- Hardware designs and simulation ----
+
+// Design is one hardware configuration.
+type Design = arch.Design
+
+// Design constructors (paper Table 2).
+var (
+	// NewMugi builds the Mugi VLP design at the given array height.
+	NewMugi = arch.Mugi
+	// NewMugiL builds the LUT-based nonlinear variant.
+	NewMugiL = arch.MugiL
+	// NewCarat builds the modified prior VLP design.
+	NewCarat = arch.Carat
+	// NewSystolicArray builds a dim×dim systolic array (figna selects the
+	// FIGNA FP-INT PE).
+	NewSystolicArray = arch.SystolicArray
+	// NewSIMDArray builds a dim×dim SIMD array.
+	NewSIMDArray = arch.SIMDArray
+	// NewTensorCore builds the Hopper-style 8×16×16 tensor core.
+	NewTensorCore = arch.TensorCore
+)
+
+// CostTable holds the technology constants; Cost45nm is the calibrated
+// 45 nm / 400 MHz table.
+type CostTable = arch.CostTable
+
+// Cost45nm is the calibrated evaluation technology.
+var Cost45nm = arch.Cost45nm
+
+// Mesh is a 2D NoC mesh; SingleNode is the 1×1 degenerate mesh.
+type Mesh = noc.Mesh
+
+// SingleNode is the single-node (no NoC) configuration.
+var SingleNode = noc.Single
+
+// NewMesh builds a rows×cols mesh.
+func NewMesh(rows, cols int) Mesh { return noc.NewMesh(rows, cols) }
+
+// ModelConfig describes a transformer workload (paper Table 1).
+type ModelConfig = model.Config
+
+// Workload is an expanded operator list for one forward pass.
+type Workload = model.Workload
+
+// The studied models.
+var (
+	Llama2_7B      = model.Llama2_7B
+	Llama2_13B     = model.Llama2_13B
+	Llama2_70B     = model.Llama2_70B
+	Llama2_70B_GQA = model.Llama2_70B_GQA
+	WhisperTiny    = model.WhisperTiny
+	WhisperLarge   = model.WhisperLarge
+	SwinV2Tiny     = model.SwinV2Tiny
+	SwinV2Large    = model.SwinV2Large
+	ViViTBase      = model.ViViTBase
+)
+
+// Models lists every studied configuration.
+func Models() []ModelConfig { return model.AllModels() }
+
+// ModelByName finds a configuration by display name.
+func ModelByName(name string) (ModelConfig, error) { return model.ByName(name) }
+
+// SimParams bundles the simulator inputs.
+type SimParams = sim.Params
+
+// SimResult is one simulated pass.
+type SimResult = sim.Result
+
+// Simulate maps a workload onto a design (optionally a mesh) and returns
+// throughput, latency breakdown, energy, power and traffic.
+func Simulate(p SimParams, w Workload) SimResult { return sim.Simulate(p, w) }
+
+// HBMBandwidth is the evaluated off-chip bandwidth (256 GB/s).
+const HBMBandwidth = sim.HBMBandwidth
+
+// ---- Carbon ----
+
+// Footprint is an operational + embodied carbon assessment (gCO2eq).
+type Footprint = carbon.Footprint
+
+// AssessCarbon computes the footprint of energyJ joules over `seconds` on
+// a die of areaMM2, amortizing embodied carbon over a 3-year lifetime.
+func AssessCarbon(energyJ, areaMM2, seconds float64) Footprint {
+	return carbon.Assess(energyJ, areaMM2, seconds)
+}
+
+// ---- Experiments ----
+
+// Experiment is a registered table/figure generator.
+type Experiment = experiments.Entry
+
+// Experiments lists the generators for every table and figure of the
+// paper's evaluation.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment regenerates one artifact by id ("fig11", "tab3", ...) and
+// returns its plain-text rendering.
+func RunExperiment(id string) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run().String(), nil
+}
+
+// ---- Functional decoding (integration layer) ----
+
+// DecoderConfig sizes the functional decoder of internal/infer.
+type DecoderConfig = infer.Config
+
+// Decoder is a small autoregressive transformer running the complete Mugi
+// operator stack (VLP GEMM, KVQ INT4 KV cache, GQA, VLP nonlinears, RoPE).
+type Decoder = infer.Engine
+
+// DecoderOps bundles the pluggable nonlinear implementations.
+type DecoderOps = infer.Ops
+
+// NewDecoder builds a seeded decoder instance.
+func NewDecoder(cfg DecoderConfig) (*Decoder, error) { return infer.New(cfg) }
+
+// ExactDecoderOps is the floating-point reference stack.
+func ExactDecoderOps(act Op) DecoderOps { return infer.ExactOps(act) }
+
+// VLPDecoderOps is the full Mugi stack.
+func VLPDecoderOps(act Op) DecoderOps { return infer.VLPOps(act) }
+
+// ---- MoE extension ----
+
+// MoEConfig extends a dense model with mixture-of-experts FFNs (§7.2).
+type MoEConfig = model.MoEConfig

@@ -1,0 +1,160 @@
+package mugi
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeVLPApproximation(t *testing.T) {
+	a := NewApprox(ApproxConfig{Op: Exp, LUTEMin: -6, LUTEMax: 5})
+	xs := []float64{-0.5, -1, -2, -4}
+	a.SelectWindowMax(xs)
+	dst := make([]float64, len(xs))
+	a.Softmax(dst, xs)
+	sum := 0.0
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	want := make([]float64, len(xs))
+	SoftmaxExact(want, xs)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 0.05 {
+			t.Errorf("elem %d: %v vs %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestFacadeBaselineApproximators(t *testing.T) {
+	for _, a := range []Approximator{
+		NewPWL(SiLU, -5, 5, 22),
+		NewTaylor(Exp, -3, 9),
+		NewPA(GELU),
+		NewApprox(LUTSizeConfig(GELU, 12, 4)),
+	} {
+		if a.Name() == "" || a.CyclesPerElement() <= 0 {
+			t.Errorf("degenerate approximator %q", a.Name())
+		}
+		if v := a.Approx(0.5); math.IsNaN(v) {
+			t.Errorf("%s: NaN at 0.5", a.Name())
+		}
+	}
+}
+
+func TestFacadeGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 32)
+	w := NewMatrix(32, 16)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	q := QuantizeWeights(w, 4, 16)
+	out, st := Multiply(GEMMConfig{Rows: 32, Cols: 8, Mapping: MappingMugi}, a, q)
+	if out.Rows != 4 || out.Cols != 16 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	if st.Cycles <= 0 || st.Utilization <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	w := Llama2_70B_GQA.DecodeOps(8, 4096)
+	mugi := Simulate(SimParams{Design: NewMugi(256)}, w)
+	sa := Simulate(SimParams{Design: NewSystolicArray(16, false)}, w)
+	if mugi.TokensPerSecond <= sa.TokensPerSecond {
+		t.Error("Mugi should outperform SA(16)")
+	}
+	mesh := Simulate(SimParams{Design: NewMugi(256), Mesh: NewMesh(4, 4)}, w)
+	if mesh.TokensPerSecond <= mugi.TokensPerSecond*10 {
+		t.Error("4x4 mesh should scale throughput")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if len(Models()) != 9 {
+		t.Errorf("model count %d", len(Models()))
+	}
+	m, err := ModelByName("Whisper Tiny")
+	if err != nil || m.Layers != 4 {
+		t.Fatalf("ModelByName: %v %+v", err, m)
+	}
+}
+
+func TestFacadeCarbon(t *testing.T) {
+	f := AssessCarbon(3.6e6, 10, 1000)
+	if f.OperationalG <= 0 || f.EmbodiedG <= 0 || f.Total() != f.OperationalG+f.EmbodiedG {
+		t.Errorf("footprint %+v", f)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 12 {
+		t.Errorf("experiment count %d", len(Experiments()))
+	}
+	out, err := RunExperiment("ablations")
+	if err != nil || !strings.Contains(out, "mapping") {
+		t.Errorf("RunExperiment: %v", err)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFacadeDecoder(t *testing.T) {
+	cfg := DecoderConfig{
+		Layers: 2, Heads: 4, KVHeads: 2, Dim: 32, FFN: 64,
+		Vocab: 64, MaxSeq: 32, RoPE: true, Activation: SiLU, Seed: 5,
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := dec.Generate([]int{3, 9}, 4, VLPDecoderOps(SiLU))
+	if err != nil || len(tokens) != 4 {
+		t.Fatalf("generate: %v %v", tokens, err)
+	}
+	ref, _ := NewDecoder(cfg)
+	want, _ := ref.Generate([]int{3, 9}, 4, ExactDecoderOps(SiLU))
+	match := 0
+	for i := range want {
+		if want[i] == tokens[i] {
+			match++
+		}
+	}
+	if match < 3 {
+		t.Errorf("VLP %v vs exact %v", tokens, want)
+	}
+}
+
+func TestFacadeMoE(t *testing.T) {
+	moe := MoEConfig{Base: Llama2_7B, Experts: 8, TopK: 2, ExpertFFN: Llama2_7B.FFN / 4}
+	w := moe.DecodeOps(8, 1024)
+	r := Simulate(SimParams{Design: NewMugi(256)}, w)
+	dense := Simulate(SimParams{Design: NewMugi(256)}, Llama2_7B.DecodeOps(8, 1024))
+	if r.TokensPerSecond <= dense.TokensPerSecond {
+		t.Error("MoE should decode faster than dense")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Regenerating an artifact twice must yield byte-identical output
+	// (no map-iteration nondeterminism in the renderers).
+	for _, id := range []string{"fig4", "tab3", "fig16", "moe", "online", "ablations"} {
+		a, err := RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := RunExperiment(id)
+		if a != b {
+			t.Errorf("%s: non-deterministic output", id)
+		}
+	}
+}
