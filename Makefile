@@ -1,0 +1,31 @@
+# Single entry points shared by CI (.github/workflows/ci.yml) and humans:
+# CI invokes exactly these targets so a green `make ci` locally means a
+# green check remotely.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: the smoke run CI executes, and the source
+# of the ms/artifact trajectory for BENCH_*.json snapshots.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: lint build race bench

@@ -17,6 +17,7 @@ import (
 
 	"mugi/internal/core"
 	"mugi/internal/experiments"
+	"mugi/internal/runner"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -25,14 +26,50 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Pin the pool to one worker so ms/artifact stays a serial-regeneration
+	// trajectory, comparable across machines, -bench filters, and the
+	// pre-runner snapshots (the registry benchmarks below measure the
+	// parallel effect explicitly).
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
 	var out string
 	for i := 0; i < b.N; i++ {
+		// Cold cache each iteration: the metric tracks regeneration cost,
+		// not cache reads.
+		ResetSimCache()
 		out = e.Run().String()
 	}
+	// Per-artifact wall time in milliseconds, the comparable trajectory
+	// for BENCH_*.json snapshots across PRs.
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/artifact")
 	if len(out) < 100 {
 		b.Fatalf("%s produced no output", id)
 	}
 }
+
+// benchRegistry regenerates the complete registry per iteration at the
+// given parallelism with a cold cache — the serial/parallel pair below is
+// the wall-clock speedup evidence for the concurrent runner.
+func benchRegistry(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ResetSimCache()
+		results := RunAll(Parallelism(parallelism))
+		if len(results) != len(Experiments()) {
+			b.Fatalf("got %d artifacts", len(results))
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/registry")
+}
+
+// BenchmarkRunRegistrySerial regenerates every artifact on one worker.
+func BenchmarkRunRegistrySerial(b *testing.B) { benchRegistry(b, 1) }
+
+// BenchmarkRunRegistryParallel4 regenerates every artifact on four
+// workers; on a 4-core machine this runs ≥ 2x faster than the serial
+// benchmark (experiments fan out across the pool and sweep points fan out
+// within each experiment).
+func BenchmarkRunRegistryParallel4(b *testing.B) { benchRegistry(b, 4) }
 
 // BenchmarkFig04Distributions regenerates the input value/exponent
 // distribution profiles (paper Fig. 4).

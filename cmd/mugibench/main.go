@@ -1,11 +1,12 @@
 // Command mugibench regenerates the tables and figures of the paper's
-// evaluation section.
+// evaluation section through the concurrent sweep runner.
 //
 // Usage:
 //
-//	mugibench -exp all        # every artifact in paper order
-//	mugibench -exp tab3       # one artifact
-//	mugibench -list           # available experiment ids
+//	mugibench -exp all              # every artifact in paper order
+//	mugibench -exp all -parallel 8  # same, fanned over 8 workers
+//	mugibench -exp tab3             # one artifact
+//	mugibench -list                 # available experiment ids
 package main
 
 import (
@@ -14,45 +15,44 @@ import (
 	"os"
 	"path/filepath"
 
-	"mugi/internal/experiments"
+	"mugi"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.Registry() {
+		for _, e := range mugi.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	run := func(e experiments.Entry) {
-		out := e.Run().String()
-		fmt.Println(out)
+	var results []mugi.ExperimentResult
+	if *exp == "all" {
+		results = mugi.RunAll(mugi.Parallelism(*parallel))
+	} else {
+		var err error
+		results, err = mugi.RunExperiments([]string{*exp}, mugi.Parallelism(*parallel))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, res := range results {
+		fmt.Println(res.Text)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fatal(err)
 			}
-			path := filepath.Join(*outDir, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(res.Text), 0o644); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	if *exp == "all" {
-		for _, e := range experiments.Registry() {
-			run(e)
-		}
-		return
-	}
-	e, err := experiments.ByID(*exp)
-	if err != nil {
-		fatal(err)
-	}
-	run(e)
 }
 
 func fatal(err error) {

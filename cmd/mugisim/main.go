@@ -1,11 +1,13 @@
-// Command mugisim runs a single architecture simulation: one design, one
-// model workload, one mesh, and prints the Table-3 style metrics plus the
-// latency breakdown.
+// Command mugisim runs architecture simulations: a single (design, model,
+// mesh) point with the Table-3 style metrics and latency breakdown, or —
+// with -all — the full experiment registry fanned across the concurrent
+// sweep runner.
 //
 // Usage:
 //
 //	mugisim -design mugi -rows 256 -model "Llama 2 70B (GQA)" -batch 8 -seq 4096
 //	mugisim -design sa -rows 16 -mesh 4x4 -model "Llama 2 7B"
+//	mugisim -all -parallel 8            # every paper artifact, 8 workers
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"mugi"
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
@@ -28,8 +31,14 @@ func main() {
 	batch := flag.Int("batch", 8, "batch size")
 	seq := flag.Int("seq", 4096, "context/sequence length")
 	prefill := flag.Bool("prefill", false, "simulate prefill instead of decode")
+	all := flag.Bool("all", false, "regenerate every registered experiment instead of one point")
+	parallel := flag.Int("parallel", 0, "worker pool size for -all (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *all {
+		runAll(*parallel)
+		return
+	}
 	d, err := buildDesign(*design, *rows)
 	if err != nil {
 		fatal(err)
@@ -67,6 +76,18 @@ func main() {
 		fmt.Printf("  %-10v %14.0f (%.1f%%)\n", cls, res.CyclesByClass[cls],
 			res.CyclesByClass[cls]/res.TotalCycles*100)
 	}
+}
+
+// runAll regenerates the full registry on the bounded worker pool and
+// prints each artifact in paper order, followed by the cache accounting.
+func runAll(parallel int) {
+	results := mugi.RunAll(mugi.Parallelism(parallel))
+	for _, res := range results {
+		fmt.Println(res.Text)
+	}
+	hits, misses := mugi.SimCacheStats()
+	fmt.Fprintf(os.Stderr, "mugisim: %d artifacts, sim cache %d hits / %d misses\n",
+		len(results), hits, misses)
 }
 
 func buildDesign(kind string, rows int) (arch.Design, error) {

@@ -1,0 +1,3 @@
+module mugi
+
+go 1.24

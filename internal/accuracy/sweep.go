@@ -6,6 +6,7 @@ import (
 
 	"mugi/internal/core"
 	"mugi/internal/nonlinear"
+	"mugi/internal/runner"
 )
 
 // Heatmap is one Fig.-6 panel: perplexity (or loss) over a 2D config grid.
@@ -41,6 +42,19 @@ func newHeatmap(name, rowLabel, colLabel string, rows, cols []float64) Heatmap {
 	return h
 }
 
+// mapCells evaluates every heatmap cell across the runner's worker pool.
+// Cells are independent (each builds its own approximators and the proxy
+// forward pass is read-only over the weights), and each writes only its own
+// index-addressed slot, so the filled heatmap is identical at any
+// parallelism level.
+func mapCells(h *Heatmap, eval func(r, c int) float64) {
+	cols := len(h.ColVals)
+	runner.Map(len(h.RowVals)*cols, func(i int) {
+		r, c := i/cols, i%cols
+		h.Values[r][c] = eval(r, c)
+	})
+}
+
 func ints(vals []int) []float64 {
 	out := make([]float64, len(vals))
 	for i, v := range vals {
@@ -55,16 +69,14 @@ func ints(vals []int) []float64 {
 func SweepVLPSoftmax(p *Proxy, lutSizes, eMaxes []int) Heatmap {
 	h := newHeatmap("VLP SM", "LUT Size", "Max Exp", ints(lutSizes), ints(eMaxes))
 	act := ExactImpl(p.cfg.Activation)
-	for r, size := range lutSizes {
-		for c, eMax := range eMaxes {
-			impl := VLPImpl(
-				core.LUTSizeConfig(nonlinear.Exp, size, eMax),
-				core.LUTSizeConfig(p.cfg.Activation, size, eMax),
-			)
-			impl.Act = act.Act // softmax panel: activation stays exact
-			h.Values[r][c] = p.Perplexity(Uniform(impl))
-		}
-	}
+	mapCells(&h, func(r, c int) float64 {
+		impl := VLPImpl(
+			core.LUTSizeConfig(nonlinear.Exp, lutSizes[r], eMaxes[c]),
+			core.LUTSizeConfig(p.cfg.Activation, lutSizes[r], eMaxes[c]),
+		)
+		impl.Act = act.Act // softmax panel: activation stays exact
+		return p.Perplexity(Uniform(impl))
+	})
 	return h
 }
 
@@ -72,13 +84,11 @@ func SweepVLPSoftmax(p *Proxy, lutSizes, eMaxes []int) Heatmap {
 func SweepVLPActivation(p *Proxy, lutSizes, eMaxes []int) Heatmap {
 	h := newHeatmap("VLP S/G", "LUT Size", "Max Exp", ints(lutSizes), ints(eMaxes))
 	exact := ExactImpl(p.cfg.Activation)
-	for r, size := range lutSizes {
-		for c, eMax := range eMaxes {
-			a := core.New(core.LUTSizeConfig(p.cfg.Activation, size, eMax))
-			impl := Impl{Name: "VLP-act", Softmax: exact.Softmax, Act: a.Approx}
-			h.Values[r][c] = p.Perplexity(Uniform(impl))
-		}
-	}
+	mapCells(&h, func(r, c int) float64 {
+		a := core.New(core.LUTSizeConfig(p.cfg.Activation, lutSizes[r], eMaxes[c]))
+		impl := Impl{Name: "VLP-act", Softmax: exact.Softmax, Act: a.Approx}
+		return p.Perplexity(Uniform(impl))
+	})
 	return h
 }
 
@@ -87,17 +97,15 @@ func SweepVLPActivation(p *Proxy, lutSizes, eMaxes []int) Heatmap {
 func SweepPWLSoftmax(p *Proxy, segments []int, ranges []float64) Heatmap {
 	h := newHeatmap("PWL SM", "Segments", "Segment Range", ints(segments), ranges)
 	exact := ExactImpl(p.cfg.Activation)
-	for r, seg := range segments {
-		for c, sr := range ranges {
-			pwl := nonlinear.NewPWLSoftmax(sr, seg)
-			impl := Impl{
-				Name:    "PWL",
-				Softmax: func(dst, xs []float64) { nonlinear.Softmax(dst, xs, pwl.Approx) },
-				Act:     exact.Act,
-			}
-			h.Values[r][c] = p.Perplexity(Uniform(impl))
+	mapCells(&h, func(r, c int) float64 {
+		pwl := nonlinear.NewPWLSoftmax(ranges[c], segments[r])
+		impl := Impl{
+			Name:    "PWL",
+			Softmax: func(dst, xs []float64) { nonlinear.Softmax(dst, xs, pwl.Approx) },
+			Act:     exact.Act,
 		}
-	}
+		return p.Perplexity(Uniform(impl))
+	})
 	return h
 }
 
@@ -106,13 +114,11 @@ func SweepPWLSoftmax(p *Proxy, segments []int, ranges []float64) Heatmap {
 func SweepPWLActivation(p *Proxy, segments []int, ranges []float64) Heatmap {
 	h := newHeatmap("PWL S/G", "Segments", "Segment Range", ints(segments), ranges)
 	exact := ExactImpl(p.cfg.Activation)
-	for r, seg := range segments {
-		for c, sr := range ranges {
-			pwl := nonlinear.NewPWLActivation(p.cfg.Activation, sr, seg)
-			impl := Impl{Name: "PWL-act", Softmax: exact.Softmax, Act: pwl.Approx}
-			h.Values[r][c] = p.Perplexity(Uniform(impl))
-		}
-	}
+	mapCells(&h, func(r, c int) float64 {
+		pwl := nonlinear.NewPWLActivation(p.cfg.Activation, ranges[c], segments[r])
+		impl := Impl{Name: "PWL-act", Softmax: exact.Softmax, Act: pwl.Approx}
+		return p.Perplexity(Uniform(impl))
+	})
 	return h
 }
 
@@ -121,17 +127,15 @@ func SweepPWLActivation(p *Proxy, segments []int, ranges []float64) Heatmap {
 func SweepTaylorSoftmax(p *Proxy, degrees []int, centers []float64) Heatmap {
 	h := newHeatmap("Taylor SM", "Degrees", "Degree Center", ints(degrees), centers)
 	exact := ExactImpl(p.cfg.Activation)
-	for r, deg := range degrees {
-		for c, center := range centers {
-			ta := nonlinear.NewTaylor(nonlinear.Exp, center, deg)
-			impl := Impl{
-				Name:    "Taylor",
-				Softmax: func(dst, xs []float64) { nonlinear.Softmax(dst, xs, ta.Approx) },
-				Act:     exact.Act,
-			}
-			h.Values[r][c] = p.Perplexity(Uniform(impl))
+	mapCells(&h, func(r, c int) float64 {
+		ta := nonlinear.NewTaylor(nonlinear.Exp, centers[c], degrees[r])
+		impl := Impl{
+			Name:    "Taylor",
+			Softmax: func(dst, xs []float64) { nonlinear.Softmax(dst, xs, ta.Approx) },
+			Act:     exact.Act,
 		}
-	}
+		return p.Perplexity(Uniform(impl))
+	})
 	return h
 }
 

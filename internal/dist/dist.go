@@ -1,0 +1,200 @@
+// Package dist holds the per-family input distribution profiles that
+// substitute the paper's GPU profiling (Fig. 4). The paper instruments real
+// checkpoints (Llama-2, Whisper, SwinV2, ViViT) and records, per layer, the
+// value and exponent distributions feeding each nonlinear operator; the
+// reproduction captures those published panels as depth-interpolated
+// Gaussians. internal/accuracy calibrates its proxy transformer's attention
+// scores against these profiles, and cmd/mugiprofile regenerates the
+// histogram panels themselves.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mugi/internal/nonlinear"
+)
+
+// Family identifies a profiled model family by its display name.
+type Family string
+
+// The profiled families (paper Table 1).
+const (
+	Llama2  Family = "Llama 2"
+	Whisper Family = "Whisper"
+	SwinV2  Family = "SwinV2"
+	ViViT   Family = "ViViT"
+)
+
+// Families lists the profiled families in paper order.
+func Families() []Family { return []Family{Llama2, Whisper, SwinV2, ViViT} }
+
+// Profile captures one (family, op) input distribution as a Gaussian whose
+// mean and standard deviation interpolate linearly from the first layer
+// (Start) to the last (End) — the depth drift visible in the paper's Fig. 4
+// columns.
+type Profile struct {
+	Family Family
+	Op     nonlinear.Op
+
+	// MeanStart/MeanEnd are the distribution mean at depth 0 and 1.
+	MeanStart, MeanEnd float64
+	// StdStart/StdEnd are the standard deviation at depth 0 and 1.
+	StdStart, StdEnd float64
+}
+
+// profiles is the calibrated table. Softmax rows describe raw attention
+// logits (pre max-subtraction); activation rows describe FFN
+// pre-activations. Llama-2's score spread widens noticeably with depth (the
+// drift Fig. 7's per-layer tuning exploits); Whisper's stays concentrated;
+// the vision transformers sit in between.
+var profiles = []Profile{
+	{Family: Llama2, Op: nonlinear.Exp, MeanStart: -1.0, MeanEnd: -2.0, StdStart: 1.6, StdEnd: 3.4},
+	{Family: Whisper, Op: nonlinear.Exp, MeanStart: -0.5, MeanEnd: -1.0, StdStart: 1.2, StdEnd: 1.6},
+	{Family: SwinV2, Op: nonlinear.Exp, MeanStart: 0.0, MeanEnd: -1.0, StdStart: 2.0, StdEnd: 2.4},
+	{Family: ViViT, Op: nonlinear.Exp, MeanStart: -0.5, MeanEnd: -1.5, StdStart: 1.8, StdEnd: 2.2},
+
+	{Family: Llama2, Op: nonlinear.SiLU, MeanStart: -0.2, MeanEnd: -0.5, StdStart: 1.2, StdEnd: 2.0},
+	{Family: Whisper, Op: nonlinear.GELU, MeanStart: -0.3, MeanEnd: -0.4, StdStart: 1.0, StdEnd: 1.5},
+	{Family: SwinV2, Op: nonlinear.GELU, MeanStart: -0.5, MeanEnd: -0.6, StdStart: 1.5, StdEnd: 2.0},
+	{Family: ViViT, Op: nonlinear.GELU, MeanStart: -0.4, MeanEnd: -0.5, StdStart: 1.3, StdEnd: 1.8},
+}
+
+// ProfileFor returns the profile of one (family, op) pair. Softmax profiles
+// exist for every family under nonlinear.Exp; activation profiles exist for
+// the family's own FFN nonlinearity only (SiLU for Llama-2, GELU for the
+// rest).
+func ProfileFor(f Family, op nonlinear.Op) (Profile, error) {
+	for _, p := range profiles {
+		if p.Family == f && p.Op == op {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dist: no profile for family %q op %v", f, op)
+}
+
+// At interpolates the profile to a normalized layer depth in [0,1].
+func (p Profile) At(depth float64) (mean, std float64) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 1 {
+		depth = 1
+	}
+	mean = p.MeanStart + depth*(p.MeanEnd-p.MeanStart)
+	std = p.StdStart + depth*(p.StdEnd-p.StdStart)
+	return mean, std
+}
+
+// SoftmaxInputs draws one attention score row of length n at the given
+// depth and returns it max-subtracted — the form the softmax hardware sees
+// after the E-proc max pass, all values ≤ 0 with one exact 0.
+func (p Profile) SoftmaxInputs(rng *rand.Rand, depth float64, n int) []float64 {
+	mean, std := p.At(depth)
+	xs := make([]float64, n)
+	maxV := math.Inf(-1)
+	for i := range xs {
+		xs[i] = mean + std*rng.NormFloat64()
+		if xs[i] > maxV {
+			maxV = xs[i]
+		}
+	}
+	for i := range xs {
+		xs[i] -= maxV
+	}
+	return xs
+}
+
+// ActivationInputs draws n FFN pre-activation values at the given depth.
+func (p Profile) ActivationInputs(rng *rand.Rand, depth float64, n int) []float64 {
+	mean, std := p.At(depth)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + std*rng.NormFloat64()
+	}
+	return xs
+}
+
+// ValueHistogram bins xs into `bins` equal-width buckets over [lo, hi] and
+// returns the bucket centers and the normalized density per bucket.
+func ValueHistogram(xs []float64, lo, hi float64, bins int) (centers, density []float64) {
+	if bins < 1 || hi <= lo {
+		return nil, nil
+	}
+	centers = make([]float64, bins)
+	density = make([]float64, bins)
+	width := (hi - lo) / float64(bins)
+	for i := range centers {
+		centers[i] = lo + (float64(i)+0.5)*width
+	}
+	if len(xs) == 0 {
+		return centers, density
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		density[b]++
+	}
+	for i := range density {
+		density[i] /= float64(len(xs))
+	}
+	return centers, density
+}
+
+// ExponentHistogram returns the mass of |x| per binary exponent
+// (math.Ilogb), clamping exponents below minExp into the minExp bucket —
+// the exponent panels of Fig. 4. Zeros are skipped.
+func ExponentHistogram(xs []float64, minExp int) map[int]float64 {
+	hist := map[int]float64{}
+	n := 0
+	for _, x := range xs {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		e := math.Ilogb(math.Abs(x))
+		if e < minExp {
+			e = minExp
+		}
+		hist[e]++
+		n++
+	}
+	for e := range hist {
+		hist[e] /= float64(n)
+	}
+	return hist
+}
+
+// DominantWindow finds the contiguous `width`-wide exponent window covering
+// the most mass and returns its low edge and the covered fraction — the
+// window the sliding-window LUT would subscribe to.
+func DominantWindow(hist map[int]float64, width int) (lo int, mass float64) {
+	if len(hist) == 0 || width < 1 {
+		return 0, 0
+	}
+	minE, maxE := math.MaxInt, math.MinInt
+	for e := range hist {
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	bestLo, bestMass := minE, -1.0
+	for l := minE; l <= maxE-width+1 || l == minE; l++ {
+		m := 0.0
+		for e := l; e < l+width; e++ {
+			m += hist[e]
+		}
+		if m > bestMass {
+			bestLo, bestMass = l, m
+		}
+	}
+	return bestLo, bestMass
+}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mugi/internal/nonlinear"
+)
+
+func TestProfileForEveryFamily(t *testing.T) {
+	for _, f := range Families() {
+		if _, err := ProfileFor(f, nonlinear.Exp); err != nil {
+			t.Errorf("missing softmax profile for %s: %v", f, err)
+		}
+		act := nonlinear.GELU
+		if f == Llama2 {
+			act = nonlinear.SiLU
+		}
+		if _, err := ProfileFor(f, act); err != nil {
+			t.Errorf("missing activation profile for %s: %v", f, err)
+		}
+	}
+	if _, err := ProfileFor(Whisper, nonlinear.SiLU); err == nil {
+		t.Error("Whisper+SiLU should have no profile")
+	}
+	if _, err := ProfileFor(Family("GPT"), nonlinear.Exp); err == nil {
+		t.Error("unknown family should error")
+	}
+}
+
+func TestSoftmaxInputsMaxSubtracted(t *testing.T) {
+	p, _ := ProfileFor(Llama2, nonlinear.Exp)
+	rng := rand.New(rand.NewSource(1))
+	xs := p.SoftmaxInputs(rng, 0.5, 128)
+	if len(xs) != 128 {
+		t.Fatalf("got %d samples", len(xs))
+	}
+	zeros := 0
+	for _, x := range xs {
+		if x > 0 {
+			t.Fatalf("positive max-subtracted value %v", x)
+		}
+		if x == 0 {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Errorf("%d zero entries, want exactly the row max", zeros)
+	}
+}
+
+func TestDepthDriftWidensLlama2(t *testing.T) {
+	p, _ := ProfileFor(Llama2, nonlinear.Exp)
+	_, s0 := p.At(0)
+	_, s1 := p.At(1)
+	if s1 <= s0 {
+		t.Errorf("Llama-2 std must widen with depth: %v -> %v", s0, s1)
+	}
+	// Out-of-range depths clamp.
+	m, s := p.At(-3)
+	if m != p.MeanStart || s != p.StdStart {
+		t.Error("depth below 0 should clamp to layer 0")
+	}
+}
+
+func TestActivationInputsMoments(t *testing.T) {
+	p, _ := ProfileFor(Whisper, nonlinear.GELU)
+	rng := rand.New(rand.NewSource(2))
+	xs := p.ActivationInputs(rng, 0, 1<<16)
+	mean, ss := 0.0, 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(ss / float64(len(xs)))
+	if math.Abs(mean-p.MeanStart) > 0.05 || math.Abs(std-p.StdStart) > 0.05 {
+		t.Errorf("moments (%.3f, %.3f) far from profile (%.3f, %.3f)",
+			mean, std, p.MeanStart, p.StdStart)
+	}
+}
+
+func TestValueHistogram(t *testing.T) {
+	centers, density := ValueHistogram([]float64{0.1, 0.1, 0.9}, 0, 1, 2)
+	if len(centers) != 2 || centers[0] != 0.25 || centers[1] != 0.75 {
+		t.Fatalf("centers %v", centers)
+	}
+	if math.Abs(density[0]-2.0/3) > 1e-12 || math.Abs(density[1]-1.0/3) > 1e-12 {
+		t.Errorf("density %v", density)
+	}
+	if c, d := ValueHistogram(nil, 1, 0, 4); c != nil || d != nil {
+		t.Error("degenerate range should return nil")
+	}
+}
+
+func TestExponentHistogramAndDominantWindow(t *testing.T) {
+	// 0.5 -> exponent -1, 2.0 -> exponent 1, 1e-12 clamps to minExp.
+	hist := ExponentHistogram([]float64{0.5, -0.5, 2.0, 1e-12, 0}, -8)
+	if math.Abs(hist[-1]-0.5) > 1e-12 || math.Abs(hist[1]-0.25) > 1e-12 || math.Abs(hist[-8]-0.25) > 1e-12 {
+		t.Fatalf("hist %v", hist)
+	}
+	lo, mass := DominantWindow(hist, 3)
+	if lo != -1 || math.Abs(mass-0.75) > 1e-12 {
+		t.Errorf("dominant window [%d] mass %v", lo, mass)
+	}
+	if _, m := DominantWindow(nil, 8); m != 0 {
+		t.Error("empty histogram should carry no mass")
+	}
+}

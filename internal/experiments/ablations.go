@@ -7,6 +7,7 @@ import (
 	"mugi/internal/core"
 	"mugi/internal/dist"
 	"mugi/internal/nonlinear"
+	"mugi/internal/runner"
 	"mugi/internal/sim"
 )
 
@@ -58,16 +59,20 @@ func Ablations() *Report {
 
 	// 4. Double-buffered SRAM provisioning: loads hidden behind compute
 	// for every evaluated design at LLM reduction depths (§5.2.1).
-	allHidden := true
-	for _, d := range []arch.Design{
+	dbDesigns := []arch.Design{
 		arch.Mugi(128), arch.Mugi(256), arch.Carat(256),
 		arch.SystolicArray(16, false), arch.SystolicArray(64, false),
 		arch.TensorCore(),
-	} {
-		for _, k := range []int{128, 4096, 28672} {
-			if !sim.LoadHidden(d, k) {
-				allHidden = false
-			}
+	}
+	ks := []int{128, 4096, 28672}
+	hidden := make([]bool, len(dbDesigns)*len(ks))
+	runner.Map(len(hidden), func(i int) {
+		hidden[i] = sim.LoadHidden(dbDesigns[i/len(ks)], ks[i%len(ks)])
+	})
+	allHidden := true
+	for _, h := range hidden {
+		if !h {
+			allHidden = false
 		}
 	}
 	r.Printf("double buffering: SRAM widths hide tile loads for all designs: %v", allHidden)

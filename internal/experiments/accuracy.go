@@ -8,6 +8,7 @@ import (
 	"mugi/internal/core"
 	"mugi/internal/dist"
 	"mugi/internal/nonlinear"
+	"mugi/internal/runner"
 )
 
 // proxyFor builds the evaluation proxy of one family, sized for the
@@ -61,7 +62,14 @@ func Fig4() *Report {
 // marked, plus the exact baseline.
 func Fig6() *Report {
 	r := &Report{ID: "fig6", Title: "Perplexity heatmaps per approximation"}
-	for _, fam := range dist.Families() {
+	// Families are independent: each renders into its own sub-report on
+	// the worker pool, then the sections concatenate in paper order.
+	families := dist.Families()
+	sections := make([]*Report, len(families))
+	runner.Map(len(families), func(fi int) {
+		fam := families[fi]
+		r := &Report{}
+		sections[fi] = r
 		p := proxyFor(fam)
 		exactImpl := accuracy.Uniform(accuracy.ExactImpl(p.Config().Activation))
 		exact := p.Perplexity(exactImpl)
@@ -92,6 +100,9 @@ func Fig6() *Report {
 		printHeat(accuracy.SweepTaylorSoftmax(p, []int{7, 8, 9}, []float64{-7, -5, -3}))
 		full := accuracy.FullVLPPerplexity(p, 12, 4, 4)
 		r.Printf("  Full VLP PPL (SM+S/G): %.3f", full)
+	})
+	for _, sub := range sections {
+		r.b.WriteString(sub.b.String())
 	}
 	return r
 }
@@ -109,7 +120,14 @@ func trim(v float64) string {
 // (paper Fig. 7 runs 7B and 13B; the proxy runs two depths).
 func Fig7() *Report {
 	r := &Report{ID: "fig7", Title: "Per-layer window tuning"}
-	for _, layers := range []int{6, 8} {
+	// The greedy tuning loop is inherently serial per depth, but the two
+	// proxy depths are independent runs.
+	depths := []int{6, 8}
+	sections := make([]*Report, len(depths))
+	runner.Map(len(depths), func(di int) {
+		layers := depths[di]
+		r := &Report{}
+		sections[di] = r
 		cfg := accuracy.DefaultProxy(dist.Llama2)
 		cfg.Layers, cfg.SeqLen, cfg.Dim, cfg.FFN = layers, 24, 16, 32
 		p := accuracy.NewProxy(cfg)
@@ -123,6 +141,9 @@ func Fig7() *Report {
 			r.Printf("  %-9s eMax=%2d  PPL %.4f", label, s.EMax, s.PPL)
 		}
 		r.Printf("  final PPL: %.4f", steps[len(steps)-1].PPL)
+	})
+	for _, sub := range sections {
+		r.b.WriteString(sub.b.String())
 	}
 	return r
 }

@@ -15,6 +15,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/runner"
 	"mugi/internal/sim"
 )
 
@@ -94,9 +95,16 @@ func geomean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
-// simulate is the shared single-run helper.
+// simulate is the shared single-run helper. It routes through the runner's
+// content-keyed cache, so generators that revisit a (design, mesh,
+// workload) tuple — or that prefetched it — read the one computed result.
 func simulate(d arch.Design, mesh noc.Mesh, w model.Workload) sim.Result {
-	return sim.Simulate(sim.Params{Design: d, Mesh: mesh}, w)
+	return runner.Simulate(sim.Params{Design: d, Mesh: mesh}, w)
+}
+
+// point builds the prefetch work item matching a simulate call.
+func point(d arch.Design, mesh noc.Mesh, w model.Workload) runner.Point {
+	return runner.Point{Params: sim.Params{Design: d, Mesh: mesh}, Workload: w}
 }
 
 // llamaGeomeanDecode runs the decode workload on the Llama-2 set and
@@ -109,6 +117,16 @@ func llamaGeomeanDecode(d arch.Design, mesh noc.Mesh, batch, seq int,
 		vals = append(vals, metric(simulate(d, mesh, w), w))
 	}
 	return geomean(vals)
+}
+
+// llamaDecodePoints lists the per-model simulation points behind one
+// llamaGeomeanDecode call, for prefetching.
+func llamaDecodePoints(d arch.Design, mesh noc.Mesh, batch, seq int) []runner.Point {
+	pts := make([]runner.Point, 0, 3)
+	for _, m := range model.LlamaModels() {
+		pts = append(pts, point(d, mesh, m.DecodeOps(batch, seq)))
+	}
+	return pts
 }
 
 // sortedClasses returns the op classes in display order.

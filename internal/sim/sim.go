@@ -30,7 +30,11 @@ type Params struct {
 	Bandwidth float64
 }
 
-func (p Params) withDefaults() Params {
+// WithDefaults materializes the zero-value defaults (HBM bandwidth, single
+// node, 45 nm cost table). Simulate applies it internally; callers that
+// key or compare Params (internal/runner's cache) use it so an implicit
+// default and its explicit spelling stay interchangeable.
+func (p Params) WithDefaults() Params {
 	if p.Bandwidth == 0 {
 		p.Bandwidth = HBMBandwidth
 	}
@@ -148,7 +152,7 @@ func sramBytes(op model.Op) float64 {
 
 // Simulate runs one workload pass through the performance and cost models.
 func Simulate(p Params, w model.Workload) Result {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	d := p.Design
 	nodes := p.Mesh.SpeedupFactor()
 

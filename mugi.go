@@ -29,6 +29,7 @@ import (
 	"mugi/internal/model"
 	"mugi/internal/noc"
 	"mugi/internal/nonlinear"
+	"mugi/internal/runner"
 	"mugi/internal/sim"
 	"mugi/internal/tensor"
 )
@@ -229,6 +230,90 @@ func RunExperiment(id string) (string, error) {
 	}
 	return e.Run().String(), nil
 }
+
+// ExperimentResult is one regenerated artifact: its registry identity plus
+// the plain-text rendering.
+type ExperimentResult struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// runConfig collects RunOption settings.
+type runConfig struct {
+	parallelism    int
+	setParallelism bool
+}
+
+// RunOption configures RunAll / RunExperiments.
+type RunOption func(*runConfig)
+
+// Parallelism bounds the experiment runner's worker pool at n (0 selects
+// GOMAXPROCS). The bound covers both the fan-out across experiments and
+// the simulation/sweep points inside each generator. Without this option
+// the pool keeps its current size; with it the new size persists for
+// subsequent runs. Resizing is not safe concurrently with another run.
+func Parallelism(n int) RunOption {
+	return func(c *runConfig) { c.parallelism, c.setParallelism = n, true }
+}
+
+// RunExperiments regenerates the named artifacts concurrently on the
+// bounded worker pool and returns them in the order requested. Outputs are
+// byte-identical to serial execution at every parallelism level: work is
+// index-addressed and the simulators are pure, so only wall-clock changes.
+// Unknown ids fail up front, before any experiment runs.
+func RunExperiments(ids []string, opts ...RunOption) ([]ExperimentResult, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	entries := make([]experiments.Entry, len(ids))
+	for i, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = e
+	}
+	if cfg.setParallelism {
+		runner.SetParallelism(cfg.parallelism)
+	}
+	results := make([]ExperimentResult, len(entries))
+	runner.Map(len(entries), func(i int) {
+		results[i] = ExperimentResult{
+			ID:    entries[i].ID,
+			Title: entries[i].Title,
+			Text:  entries[i].Run().String(),
+		}
+	})
+	return results, nil
+}
+
+// RunAll regenerates every registered artifact in paper order.
+func RunAll(opts ...RunOption) []ExperimentResult {
+	ids := make([]string, 0, len(experiments.Registry()))
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	results, err := RunExperiments(ids, opts...)
+	if err != nil {
+		// Registry ids resolve by construction.
+		panic(err)
+	}
+	return results
+}
+
+// SimCacheStats reports the experiment runner's content-keyed simulation
+// cache accounting (hits include requests that joined an in-flight
+// computation).
+func SimCacheStats() (hits, misses uint64) {
+	st := runner.CacheStats()
+	return st.Hits, st.Misses
+}
+
+// ResetSimCache drops every cached simulation result, forcing the next run
+// to recompute from scratch (used by benchmarks to measure cold runs).
+func ResetSimCache() { runner.ResetCache() }
 
 // ---- Functional decoding (integration layer) ----
 

@@ -1,0 +1,70 @@
+package mugi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExperimentResolvesEveryRegistryID is the regression guard for the
+// facade: every registered artifact id must keep resolving and rendering
+// through the single-experiment path.
+func TestRunExperimentResolvesEveryRegistryID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry in -short mode")
+	}
+	for _, e := range Experiments() {
+		out, err := RunExperiment(e.ID)
+		if err != nil {
+			t.Fatalf("RunExperiment(%q): %v", e.ID, err)
+		}
+		if !strings.HasPrefix(out, "== "+e.ID+": ") {
+			t.Errorf("%s: malformed rendering %q", e.ID, out[:min(40, len(out))])
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	if _, err := RunExperiments([]string{"tab3", "fig99"}); err == nil {
+		t.Fatal("unknown id must fail before any experiment runs")
+	}
+}
+
+func TestRunExperimentsPreservesRequestOrder(t *testing.T) {
+	ids := []string{"fig11", "fig4", "tab3"}
+	results, err := RunExperiments(ids, Parallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if results[i].ID != id {
+			t.Errorf("results[%d] = %s, want %s", i, results[i].ID, id)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSerialFacade runs the complete registry through
+// RunAll at parallelism 1 and parallelism 8 with cold caches and demands
+// byte-identical renderings — the facade-level spelling of the runner's
+// determinism guarantee.
+func TestRunAllParallelMatchesSerialFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry in -short mode")
+	}
+	ResetSimCache()
+	serial := RunAll(Parallelism(1))
+	ResetSimCache()
+	parallel := RunAll(Parallelism(8))
+	defer ResetSimCache()
+	if len(serial) != len(parallel) || len(serial) != len(Experiments()) {
+		t.Fatalf("result counts: serial %d, parallel %d, registry %d",
+			len(serial), len(parallel), len(Experiments()))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("%s: parallel rendering diverges from serial", serial[i].ID)
+		}
+	}
+	if hits, misses := SimCacheStats(); hits == 0 || misses == 0 {
+		t.Errorf("cache accounting degenerate: %d hits / %d misses", hits, misses)
+	}
+}
