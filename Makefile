@@ -4,6 +4,10 @@
 
 GO ?= go
 
+# Pinned so CI is reproducible; `go install` this version locally to run
+# the same check the workflow runs.
+STATICCHECK_VERSION ?= 2025.1.1
+
 .PHONY: build test race bench lint fmt ci
 
 build:
@@ -24,6 +28,11 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+	fi
 
 fmt:
 	gofmt -w .

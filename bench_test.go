@@ -249,3 +249,38 @@ func BenchmarkSimulateDecode(b *testing.B) {
 		Simulate(SimParams{Design: d}, w)
 	}
 }
+
+// ---- Serving benchmarks ----
+
+// benchServe runs one serving scenario per iteration with a cold sim
+// cache and reports the cross-PR trajectory metrics: sustained requests/s
+// and p99 request latency of the simulated deployment (simulated-time
+// metrics — stable across machines — alongside the wall-clock ms/run).
+func benchServe(b *testing.B, mesh Mesh, rate float64) {
+	b.Helper()
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
+	tr, err := NewTrace(TraceConfig{Kind: TracePoisson, Rate: rate, Requests: 48, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ServeConfig{Model: Llama2_7B, Design: NewMugi(256), Mesh: mesh}
+	var rep ServeReport
+	for i := 0; i < b.N; i++ {
+		ResetSimCache()
+		if rep, err = Serve(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.SustainedRate, "req/s")
+	b.ReportMetric(rep.Latency.P99, "p99-s")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/run")
+}
+
+// BenchmarkServeSingleNode serves Poisson chat traffic on one Mugi(256)
+// node just past its capacity.
+func BenchmarkServeSingleNode(b *testing.B) { benchServe(b, SingleNode, 0.05) }
+
+// BenchmarkServeMesh4x4 serves the 4x4 scale-out at a 10x higher arrival
+// rate.
+func BenchmarkServeMesh4x4(b *testing.B) { benchServe(b, NewMesh(4, 4), 0.5) }

@@ -1,12 +1,13 @@
 // Command mugisim runs architecture simulations: a single (design, model,
-// mesh) point with the Table-3 style metrics and latency breakdown, or —
-// with -all — the full experiment registry fanned across the concurrent
-// sweep runner.
+// mesh) point with the Table-3 style metrics and latency breakdown, a
+// request-level serving scenario with -serve, or — with -all — the full
+// experiment registry fanned across the concurrent sweep runner.
 //
 // Usage:
 //
 //	mugisim -design mugi -rows 256 -model "Llama 2 70B (GQA)" -batch 8 -seq 4096
 //	mugisim -design sa -rows 16 -mesh 4x4 -model "Llama 2 7B"
+//	mugisim -serve -mesh 4x4 -rate 0.5 -requests 48 -trace bursty
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
 package main
 
@@ -33,6 +34,14 @@ func main() {
 	prefill := flag.Bool("prefill", false, "simulate prefill instead of decode")
 	all := flag.Bool("all", false, "regenerate every registered experiment instead of one point")
 	parallel := flag.Int("parallel", 0, "worker pool size for -all (0 = GOMAXPROCS)")
+	serveMode := flag.Bool("serve", false, "run a request-level serving scenario instead of one pass")
+	traceKind := flag.String("trace", "poisson", "arrival process for -serve: poisson|bursty|diurnal")
+	rate := flag.Float64("rate", 0.5, "mean arrival rate in requests/s for -serve")
+	requests := flag.Int("requests", 48, "request count for -serve")
+	traceSeed := flag.Int64("seed", 1, "trace seed for -serve")
+	lengths := flag.String("lengths", "chat", "request length profile for -serve: chat|rag")
+	maxBatch := flag.Int("maxbatch", 0, "decode batch cap for -serve (0 = default)")
+	kvBudgetGB := flag.Float64("kvbudget", 0, "KV-cache budget in GiB for -serve (0 = default 8)")
 	flag.Parse()
 
 	if *all {
@@ -50,6 +59,10 @@ func main() {
 	mesh, err := parseMesh(*meshStr)
 	if err != nil {
 		fatal(err)
+	}
+	if *serveMode {
+		runServe(d, m, mesh, *traceKind, *lengths, *rate, *requests, *traceSeed, *maxBatch, *kvBudgetGB)
+		return
 	}
 	var w model.Workload
 	if *prefill {
@@ -76,6 +89,36 @@ func main() {
 		fmt.Printf("  %-10v %14.0f (%.1f%%)\n", cls, res.CyclesByClass[cls],
 			res.CyclesByClass[cls]/res.TotalCycles*100)
 	}
+}
+
+// runServe drives one request-level serving scenario and prints the
+// report.
+func runServe(d arch.Design, m model.Config, mesh noc.Mesh,
+	traceKind, lengths string, rate float64, requests int, seed int64,
+	maxBatch int, kvBudgetGB float64) {
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := mugi.NewTrace(mugi.TraceConfig{
+		Kind: kind, Rate: rate, Requests: requests, Seed: seed, Lengths: profile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := mugi.Serve(mugi.ServeConfig{
+		Model: m, Design: d, Mesh: mesh,
+		MaxBatch:      maxBatch,
+		KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+	}, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
 }
 
 // runAll regenerates the full registry on the bounded worker pool and

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"mugi"
+)
 
 func TestBuildDesign(t *testing.T) {
 	cases := []struct {
@@ -44,5 +48,17 @@ func TestParseMesh(t *testing.T) {
 		if _, err := parseMesh(bad); err == nil {
 			t.Errorf("parseMesh(%q) should error", bad)
 		}
+	}
+}
+
+func TestParseLengthProfileFlag(t *testing.T) {
+	for _, s := range []string{"chat", "CHAT", "rag"} {
+		p, err := mugi.ParseLengthProfile(s)
+		if err != nil || p.MaxPrompt == 0 {
+			t.Errorf("ParseLengthProfile(%q) = %+v, %v", s, p, err)
+		}
+	}
+	if _, err := mugi.ParseLengthProfile("code"); err == nil {
+		t.Error("unknown profile should error")
 	}
 }

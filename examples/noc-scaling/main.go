@@ -18,15 +18,19 @@ func main() {
 		mugi.NewMesh(8, 8),
 	}
 	fmt.Println("Mugi(256) across mesh sizes, Llama-2 70B GQA decode:")
-	fmt.Printf("%-6s %12s %14s %14s %12s\n", "mesh", "tokens/s", "compute s", "memory s", "bound")
+	fmt.Printf("%-6s %12s %14s %14s %12s %14s\n", "mesh", "tokens/s", "compute s", "memory s", "bound", "NoC GB/s need")
 	for _, mesh := range meshes {
 		r := mugi.Simulate(mugi.SimParams{Design: mugi.NewMugi(256), Mesh: mesh}, w)
 		bound := "compute"
 		if r.MemorySeconds >= r.ComputeSeconds {
 			bound = "memory"
 		}
-		fmt.Printf("%-6s %12.2f %14.4f %14.4f %12s\n",
-			mesh, r.TokensPerSecond, r.ComputeSeconds, r.MemorySeconds, bound)
+		if r.NoCLimited {
+			bound = "network"
+		}
+		fmt.Printf("%-6s %12.2f %14.4f %14.4f %12s %14.1f\n",
+			mesh, r.TokensPerSecond, r.ComputeSeconds, r.MemorySeconds, bound,
+			r.NoCRequiredBandwidth/1e9)
 	}
 
 	fmt.Println("\ntensor-core scaling (paper's 2x1 / 2x2 configurations):")

@@ -67,6 +67,7 @@ func Registry() []Entry {
 		{"ablations", "Design-choice ablations (mapping, buffers, window)", Ablations},
 		{"moe", "Extension: mixture-of-experts workloads (paper §7.2)", MoE},
 		{"online", "Extension: online window adaptation (paper §7.1)", Online},
+		{"serve", "Extension: request-level serving under traffic", Serving},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
-		"moe", "online"}
+		"moe", "online", "serve"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -119,5 +119,21 @@ func TestFig14Fig17Run(t *testing.T) {
 	}
 	if out := Fig17().String(); !strings.Contains(out, "8x8") {
 		t.Error("fig17 missing 8x8 mesh")
+	}
+}
+
+// TestServingContent: the serving sweep must render every scenario axis
+// with no error rows (the quantitative scale-out invariant — the mesh
+// sustains at least the single-node rate — lives in
+// serve.TestMeshSpeedsUpServing).
+func TestServingContent(t *testing.T) {
+	out := Serving().String()
+	for _, needle := range []string{"Mugi (256)", "4x4", "poisson", "bursty", "diurnal", "sustained", "J/req"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("serving report missing %q", needle)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Errorf("serving report contains an error row:\n%s", out)
 	}
 }

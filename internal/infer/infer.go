@@ -299,6 +299,9 @@ func (e *Engine) Generate(prompt []int, n int, ops Ops) ([]int, error) {
 	out := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		next := argmax(logits)
+		if next < 0 {
+			return nil, fmt.Errorf("infer: greedy decode after %d generated tokens: every logit is NaN or -Inf", len(out))
+		}
 		out = append(out, next)
 		if logits, err = e.Step(next, ops); err != nil {
 			return nil, err
@@ -307,9 +310,15 @@ func (e *Engine) Generate(prompt []int, n int, ops Ops) ([]int, error) {
 	return out, nil
 }
 
+// argmax returns the index of the largest finite logit, or -1 when every
+// logit is NaN or -Inf — the numeric-blowup case greedy decode must
+// surface instead of silently emitting token 0.
 func argmax(xs []float64) int {
-	best, bestV := 0, math.Inf(-1)
+	best, bestV := -1, math.Inf(-1)
 	for i, v := range xs {
+		if math.IsNaN(v) {
+			continue
+		}
 		if v > bestV {
 			best, bestV = i, v
 		}

@@ -252,3 +252,45 @@ func TestVLPSinCosAccuracy(t *testing.T) {
 		}
 	}
 }
+
+func TestArgmaxSkipsNonFinite(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want int
+	}{
+		{[]float64{0.1, 0.9, 0.3}, 1},
+		{[]float64{math.NaN(), 0.2, 0.1}, 1},
+		{[]float64{math.Inf(-1), math.Inf(-1), -3}, 2},
+		{[]float64{math.NaN(), math.NaN()}, -1},
+		{[]float64{math.Inf(-1), math.Inf(-1)}, -1},
+		{[]float64{math.NaN(), math.Inf(-1)}, -1},
+		{nil, -1},
+	}
+	for _, c := range cases {
+		if got := argmax(c.xs); got != c.want {
+			t.Errorf("argmax(%v) = %d, want %d", c.xs, got, c.want)
+		}
+	}
+}
+
+// TestGenerateSurfacesNaNLogits: a numerically blown-up stack (here an
+// activation that always returns NaN, poisoning every downstream GEMM)
+// must make greedy decode fail loudly instead of silently emitting
+// token 0 forever.
+func TestGenerateSurfacesNaNLogits(t *testing.T) {
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := ExactOps(nonlinear.SiLU)
+	ops.Act = func(float64) float64 { return math.NaN() }
+	if _, err := e.Generate([]int{1, 2}, 4, ops); err == nil {
+		t.Fatal("NaN logits must surface as a Generate error")
+	}
+	// The healthy stack still decodes.
+	e.Reset()
+	out, err := e.Generate([]int{1, 2}, 4, ExactOps(nonlinear.SiLU))
+	if err != nil || len(out) != 4 {
+		t.Fatalf("healthy decode: %v %v", out, err)
+	}
+}

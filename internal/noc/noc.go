@@ -44,6 +44,13 @@ const (
 	RouterAreaMM2 = 0.031
 	// RouterEnergyPerByte is the hop energy per byte moved on a channel.
 	RouterEnergyPerByte = 0.8e-12
+	// LinkBytesPerCycle is the per-channel link width in bytes (1024-bit
+	// links): wide enough that the provisioned aggregate bandwidth of any
+	// multi-node mesh exceeds the 256 GB/s off-chip bandwidth, so the
+	// paper's "network never bottlenecks" claim holds by construction at
+	// the default provisioning — and is now checked, not assumed (see
+	// sim.Result.NoCRequiredBandwidth).
+	LinkBytesPerCycle = 128
 )
 
 // AreaMM2 is the total NoC area (routers and links), zero for a single
@@ -84,4 +91,14 @@ func (m Mesh) RequiredBandwidth(bytesPerPass int64, seconds float64) float64 {
 		return 0
 	}
 	return float64(bytesPerPass) / seconds
+}
+
+// ProvisionedBandwidth is the aggregate bandwidth (bytes/s) the configured
+// mesh supplies at the given clock: all three channels at full link width
+// on every node. Zero for a single node, which has no NoC.
+func (m Mesh) ProvisionedBandwidth(freqHz float64) float64 {
+	if m.Nodes() == 1 {
+		return 0
+	}
+	return float64(Channels*LinkBytesPerCycle) * freqHz * float64(m.Nodes())
 }

@@ -65,3 +65,19 @@ func TestRequiredBandwidth(t *testing.T) {
 		t.Errorf("zero-time bw %v", bw)
 	}
 }
+
+func TestProvisionedBandwidth(t *testing.T) {
+	if bw := Single.ProvisionedBandwidth(400e6); bw != 0 {
+		t.Errorf("single node provisioned %.3g, want 0 (no NoC)", bw)
+	}
+	m := NewMesh(4, 4)
+	want := float64(Channels*LinkBytesPerCycle) * 400e6 * 16
+	if bw := m.ProvisionedBandwidth(400e6); bw != want {
+		t.Errorf("4x4 provisioned %.3g, want %.3g", bw, want)
+	}
+	// The smallest multi-node mesh must out-provision the 256 GB/s HBM
+	// stream, the worst-case NoC demand of any simulated pass.
+	if bw := NewMesh(2, 1).ProvisionedBandwidth(400e6); bw <= 256e9 {
+		t.Errorf("2x1 provisioned %.3g does not cover the HBM stream", bw)
+	}
+}

@@ -169,13 +169,13 @@ func (e *Engine) Map(n int, f func(i int)) {
 type panicValue struct{ v any }
 
 // simKey canonicalizes the full simulation input: every Design, CostTable
-// and Mesh field, the bandwidth, and the complete operator list (class,
+// and Mesh field, both bandwidths, and the complete operator list (class,
 // shape, precision, repetition) — not just the model name, since
 // generators simulate stripped and MoE-modified workloads.
 func simKey(p sim.Params, w model.Workload) string {
 	var b strings.Builder
 	b.Grow(512)
-	fmt.Fprintf(&b, "%+v|%+v|%g|%+v|", p.Design, p.Mesh, p.Bandwidth, p.Cost)
+	fmt.Fprintf(&b, "%+v|%+v|%g|%g|%+v|", p.Design, p.Mesh, p.Bandwidth, p.NoCBandwidth, p.Cost)
 	fmt.Fprintf(&b, "%+v|%d|%d|%v|%d|", w.Model, w.Batch, w.CtxLen, w.Decode, w.WeightStreamBytes)
 	for _, op := range w.Ops {
 		fmt.Fprintf(&b, "%+v;", op)

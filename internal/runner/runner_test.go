@@ -233,3 +233,24 @@ func TestParallelSimulateMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateKeysOnNoCBandwidth is the regression guard for the cache
+// key: two requests differing only in the configured NoC bandwidth must
+// not collide — a starved mesh's throttled result must never answer for
+// the healthy default provisioning.
+func TestSimulateKeysOnNoCBandwidth(t *testing.T) {
+	e := New(2)
+	w := model.Llama2_7B.DecodeOps(2, 256)
+	mesh := noc.NewMesh(4, 4)
+	starved := e.Simulate(sim.Params{Design: arch.Mugi(128), Mesh: mesh, NoCBandwidth: 1e6}, w)
+	healthy := e.Simulate(sim.Params{Design: arch.Mugi(128), Mesh: mesh}, w)
+	if !starved.NoCLimited {
+		t.Fatal("1 MB/s NoC must throttle the pass")
+	}
+	if healthy.NoCLimited || healthy.Seconds == starved.Seconds {
+		t.Errorf("healthy run read the starved cache entry: %+v", healthy)
+	}
+	if st := e.CacheStats(); st.Misses != 2 {
+		t.Errorf("distinct NoC bandwidths must be distinct cache entries, got %d misses", st.Misses)
+	}
+}

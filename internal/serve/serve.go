@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mugi/internal/arch"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/runner"
+	"mugi/internal/sim"
+)
+
+// DefaultMaxBatch caps the number of requests decoding concurrently.
+const DefaultMaxBatch = 32
+
+// DefaultKVBudgetBytes is the default KV-cache capacity (8 GiB of the HBM
+// stack), the budget that forces queueing when resident contexts outgrow
+// memory.
+const DefaultKVBudgetBytes int64 = 8 << 30
+
+// StepFunc computes one pass cost; the default is runner.Simulate so step
+// costs are memoized through the content-keyed cache and sweeps that
+// revisit a (batch, context) point — across arrival rates, meshes, or
+// designs — pay for it once. The cache is process-wide and unevicted, so
+// a very long trace (tens of thousands of requests) accumulates one entry
+// per distinct step; call runner.ResetCache between such runs, or inject
+// sim.Simulate directly to skip memoization.
+type StepFunc func(sim.Params, model.Workload) sim.Result
+
+// Config bundles the serving-simulation inputs.
+type Config struct {
+	// Model is the served checkpoint (its PrefillOps/DecodeOps price every
+	// step).
+	Model model.Config
+	// Design and Mesh select the hardware, as in sim.Params.
+	Design arch.Design
+	Mesh   noc.Mesh
+	// MaxBatch caps concurrent decode requests (default DefaultMaxBatch).
+	MaxBatch int
+	// KVBudgetBytes caps resident KV-cache bytes across running requests
+	// (default DefaultKVBudgetBytes). Admission reserves a request's full
+	// prompt+output footprint so no running request is ever evicted.
+	KVBudgetBytes int64
+	// Bandwidth is the off-chip bandwidth passed to the simulator (0 =
+	// sim.HBMBandwidth).
+	Bandwidth float64
+	// NoCBandwidth is the aggregate NoC bandwidth passed to the simulator
+	// (0 = the mesh's provisioned default).
+	NoCBandwidth float64
+	// Simulate computes step costs (default runner.Simulate, memoized).
+	Simulate StepFunc
+}
+
+// withDefaults materializes the zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.KVBudgetBytes == 0 {
+		c.KVBudgetBytes = DefaultKVBudgetBytes
+	}
+	if c.Simulate == nil {
+		c.Simulate = runner.Simulate
+	}
+	return c
+}
+
+// KVBytesPerToken is the per-token KV-cache footprint of one request under
+// KVQ INT4: 4-bit K and V codes plus one float16 scale per head, per
+// layer — the same accounting as infer.KVCache.Bytes, lifted to a
+// model.Config so the scheduler can budget capacity without materializing
+// a cache.
+func KVBytesPerToken(m model.Config) int64 {
+	codes := int64(2*m.KVDim()) / 2 // K and V at 4 bits
+	scales := int64(2*m.KVHeads) * 2
+	return (codes + scales) * int64(m.Layers)
+}
+
+// Percentiles summarizes one latency population (seconds).
+type Percentiles struct {
+	Mean, P50, P95, P99, Max float64
+}
+
+// percentiles computes nearest-rank percentiles over xs (not mutated).
+func percentiles(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	return Percentiles{
+		Mean: sum / float64(len(s)),
+		P50:  rank(0.50), P95: rank(0.95), P99: rank(0.99),
+		Max: s[len(s)-1],
+	}
+}
+
+// Report is one serving simulation: the request-level metrics of a
+// continuous-batching deployment.
+type Report struct {
+	// Model, Design, Mesh, Trace identify the scenario.
+	Model  string
+	Design string
+	Mesh   string
+	Trace  Trace
+
+	// Requests/Completed count the trace and its completions (always equal
+	// on return; the scheduler drains the queue).
+	Requests, Completed int
+	// OfferedRate is the trace's realized arrival rate (req/s);
+	// SustainedRate is completions over the makespan. Sustained < offered
+	// means the configuration cannot keep up and the queue grew.
+	OfferedRate, SustainedRate float64
+	// Makespan is the simulated time from first arrival to last
+	// completion, in seconds.
+	Makespan float64
+	// PromptTokens/OutputTokens total the processed tokens;
+	// TokensPerSecond is generated tokens over the makespan.
+	PromptTokens, OutputTokens int64
+	TokensPerSecond            float64
+
+	// TTFT is time from arrival to first output token (queue wait +
+	// prefill); TPOT is the steady-state seconds per output token after
+	// the first; Latency is arrival to final token.
+	TTFT, TPOT, Latency Percentiles
+
+	// PrefillSteps/DecodeSteps count scheduler iterations; MeanBatch is
+	// the average decode batch occupancy.
+	PrefillSteps, DecodeSteps int
+	MeanBatch                 float64
+	// PeakKVBytes and PeakQueue are the scheduler's high-water marks;
+	// KVQueuedRequests counts admissions deferred by the KV budget with a
+	// batch slot free.
+	PeakKVBytes      int64
+	PeakQueue        int
+	KVQueuedRequests int
+
+	// DynamicEnergy sums per-step dynamic energy; TotalEnergy adds
+	// leakage over the makespan. JoulesPerRequest is TotalEnergy per
+	// completion.
+	DynamicEnergy, TotalEnergy float64
+	JoulesPerRequest           float64
+	// NoCLimitedSteps counts steps throttled by the configured NoC
+	// bandwidth (see sim.Result.NoCLimited).
+	NoCLimitedSteps int
+}
+
+// String renders the report deterministically.
+func (r Report) String() string {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	p("serve: %s on %s mesh %s", r.Model, r.Design, r.Mesh)
+	p("trace: %s rate %.2f req/s seed %d lengths %s (%d requests)",
+		r.Trace.Kind, r.Trace.Rate, r.Trace.Seed, r.Trace.Lengths, r.Requests)
+	p("throughput: offered %.3f req/s  sustained %.3f req/s  %.1f tok/s out", r.OfferedRate, r.SustainedRate, r.TokensPerSecond)
+	p("makespan: %.2f s  (%d prefill steps, %d decode steps, mean batch %.2f)",
+		r.Makespan, r.PrefillSteps, r.DecodeSteps, r.MeanBatch)
+	p("tokens: %d prompt  %d output", r.PromptTokens, r.OutputTokens)
+	pp := func(name string, x Percentiles, scale float64, unit string) {
+		p("%-8s mean %8.3f  p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f  %s",
+			name, x.Mean*scale, x.P50*scale, x.P95*scale, x.P99*scale, x.Max*scale, unit)
+	}
+	pp("TTFT", r.TTFT, 1e3, "ms")
+	pp("TPOT", r.TPOT, 1e3, "ms/tok")
+	pp("latency", r.Latency, 1, "s")
+	p("kv: peak %.2f GiB  queue peak %d  kv-deferred admissions %d",
+		float64(r.PeakKVBytes)/(1<<30), r.PeakQueue, r.KVQueuedRequests)
+	p("energy: %.1f J dynamic  %.1f J total  %.2f J/request  (%d NoC-limited steps)",
+		r.DynamicEnergy, r.TotalEnergy, r.JoulesPerRequest, r.NoCLimitedSteps)
+	return b.String()
+}
+
+// reqState tracks one admitted request.
+type reqState struct {
+	req       Request
+	generated int     // output tokens produced so far
+	firstAt   float64 // completion time of the prefill (first token)
+	deferred  bool    // already counted as a KV-budget deferral
+}
+
+// Run drives the trace through the continuous-batching scheduler and
+// returns the request-level report.
+//
+// The scheduler is iteration-level (Orca-style): each round admits
+// arrivals, prefills queued requests while a batch slot and KV budget are
+// free (one prefill pass per request, which also yields its first output
+// token), then runs one decode step for the whole running batch at the
+// longest resident context (padded batching). Completed requests free
+// their KV reservation immediately.
+func Run(cfg Config, tr Trace) (Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return Report{}, err
+	}
+	if len(tr.Requests) == 0 {
+		return Report{}, fmt.Errorf("serve: empty trace")
+	}
+	if cfg.MaxBatch < 1 {
+		return Report{}, fmt.Errorf("serve: max batch %d must be positive", cfg.MaxBatch)
+	}
+	perToken := KVBytesPerToken(cfg.Model)
+	need := func(r Request) int64 { return perToken * int64(r.Prompt+r.Output) }
+	for _, r := range tr.Requests {
+		if r.Prompt < 1 || r.Output < 1 {
+			return Report{}, fmt.Errorf("serve: request %d has empty prompt or output", r.ID)
+		}
+		// The deepest decode step attends over prompt+output-1 cached
+		// tokens; a model can't serve a request past its context window.
+		if cfg.Model.MaxSeq > 0 && r.Prompt+r.Output-1 > cfg.Model.MaxSeq {
+			return Report{}, fmt.Errorf("serve: request %d spans %d tokens, model %q holds %d — use a shorter length profile",
+				r.ID, r.Prompt+r.Output, cfg.Model.Name, cfg.Model.MaxSeq)
+		}
+		if need(r) > cfg.KVBudgetBytes {
+			return Report{}, fmt.Errorf("serve: request %d needs %d KV bytes, budget %d — it can never be scheduled",
+				r.ID, need(r), cfg.KVBudgetBytes)
+		}
+	}
+	params := sim.Params{
+		Design: cfg.Design, Mesh: cfg.Mesh,
+		Bandwidth: cfg.Bandwidth, NoCBandwidth: cfg.NoCBandwidth,
+	}
+
+	rep := Report{
+		Model: cfg.Model.Name, Design: cfg.Design.Name, Mesh: cfg.Mesh.String(),
+		Trace: tr, Requests: len(tr.Requests),
+		OfferedRate: tr.OfferedRate(),
+	}
+	rep.PromptTokens, rep.OutputTokens = tr.TotalTokens()
+
+	var (
+		queue      []*reqState
+		active     []*reqState
+		ttfts      []float64
+		tpots      []float64
+		latencies  []float64
+		now        float64
+		kvInUse    int64
+		batchSum   int
+		leakage    float64
+		nextArrive int
+	)
+	complete := func(r *reqState) {
+		kvInUse -= need(r.req)
+		latencies = append(latencies, now-r.req.Arrival)
+		ttfts = append(ttfts, r.firstAt-r.req.Arrival)
+		if r.req.Output > 1 {
+			tpots = append(tpots, (now-r.firstAt)/float64(r.req.Output-1))
+		}
+		rep.Completed++
+	}
+	step := func(w model.Workload) sim.Result {
+		res := cfg.Simulate(params, w)
+		now += res.Seconds
+		rep.DynamicEnergy += res.DynamicEnergy
+		leakage = res.LeakageWatts
+		if res.NoCLimited {
+			rep.NoCLimitedSteps++
+		}
+		return res
+	}
+
+	for rep.Completed < len(tr.Requests) {
+		for nextArrive < len(tr.Requests) && tr.Requests[nextArrive].Arrival <= now {
+			queue = append(queue, &reqState{req: tr.Requests[nextArrive]})
+			nextArrive++
+		}
+		if len(queue) > rep.PeakQueue {
+			rep.PeakQueue = len(queue)
+		}
+		if len(active) == 0 && len(queue) == 0 {
+			// Idle: jump to the next arrival.
+			now = tr.Requests[nextArrive].Arrival
+			continue
+		}
+
+		// Admission: prefill queued requests while a slot and budget allow.
+		for len(queue) > 0 && len(active) < cfg.MaxBatch {
+			r := queue[0]
+			if kvInUse+need(r.req) > cfg.KVBudgetBytes {
+				if !r.deferred {
+					r.deferred = true
+					rep.KVQueuedRequests++
+				}
+				break
+			}
+			queue = queue[1:]
+			kvInUse += need(r.req)
+			if kvInUse > rep.PeakKVBytes {
+				rep.PeakKVBytes = kvInUse
+			}
+			step(cfg.Model.PrefillOps(1, r.req.Prompt))
+			rep.PrefillSteps++
+			r.firstAt = now
+			r.generated = 1
+			if r.generated == r.req.Output {
+				complete(r)
+			} else {
+				active = append(active, r)
+			}
+		}
+
+		// One decode step for the running batch at the longest context.
+		if len(active) > 0 {
+			maxCtx := 0
+			for _, r := range active {
+				if ctx := r.req.Prompt + r.generated; ctx > maxCtx {
+					maxCtx = ctx
+				}
+			}
+			step(cfg.Model.DecodeOps(len(active), maxCtx))
+			rep.DecodeSteps++
+			batchSum += len(active)
+			remaining := active[:0]
+			for _, r := range active {
+				r.generated++
+				if r.generated >= r.req.Output {
+					complete(r)
+				} else {
+					remaining = append(remaining, r)
+				}
+			}
+			active = remaining
+		}
+	}
+
+	rep.Makespan = now - tr.Requests[0].Arrival
+	if rep.Makespan > 0 {
+		rep.SustainedRate = float64(rep.Completed) / rep.Makespan
+		rep.TokensPerSecond = float64(rep.OutputTokens) / rep.Makespan
+	}
+	if rep.DecodeSteps > 0 {
+		rep.MeanBatch = float64(batchSum) / float64(rep.DecodeSteps)
+	}
+	rep.TTFT = percentiles(ttfts)
+	rep.TPOT = percentiles(tpots)
+	rep.Latency = percentiles(latencies)
+	rep.TotalEnergy = rep.DynamicEnergy + leakage*rep.Makespan
+	if rep.Completed > 0 {
+		rep.JoulesPerRequest = rep.TotalEnergy / float64(rep.Completed)
+	}
+	return rep, nil
+}

@@ -1,0 +1,310 @@
+// Package serve is the request-level serving simulator: it drives the
+// per-pass costs of internal/sim through a continuous-batching scheduler
+// fed by synthetic arrival traces, turning the repository's isolated
+// single-pass numbers into the metrics a production deployment is judged
+// by — offered vs. sustained throughput, time-to-first-token,
+// time-per-output-token, tail request latency, and joules per request.
+//
+// Everything is deterministic: traces are drawn from a seeded generator,
+// the scheduler is a pure event loop over pure simulator results, and the
+// step costs are memoized through internal/runner's content-keyed cache —
+// so an identical (seed, trace, config) tuple renders a byte-identical
+// Report at any runner parallelism, the same guarantee the experiment
+// registry makes.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// TraceKind selects the synthetic arrival process.
+type TraceKind int
+
+const (
+	// Poisson is a homogeneous Poisson process: independent exponential
+	// inter-arrival times at the configured mean rate.
+	Poisson TraceKind = iota
+	// Bursty is a two-state Markov-modulated Poisson process: ON phases
+	// arrive at BurstFactor times the mean rate, OFF phases at a trickle,
+	// with phase lengths chosen so the long-run rate matches Rate.
+	Bursty
+	// Diurnal is a non-homogeneous Poisson process whose instantaneous
+	// rate follows a sinusoid (period Period, relative amplitude Swing)
+	// around the mean rate — a compressed day/night load curve.
+	Diurnal
+)
+
+// String names the trace kind for renderings and CLI flags.
+func (k TraceKind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// ParseTraceKind maps a CLI spelling to its TraceKind.
+func ParseTraceKind(s string) (TraceKind, error) {
+	switch strings.ToLower(s) {
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	case "diurnal":
+		return Diurnal, nil
+	}
+	return 0, fmt.Errorf("serve: unknown trace kind %q (want poisson|bursty|diurnal)", s)
+}
+
+// TraceKinds lists every arrival process.
+func TraceKinds() []TraceKind { return []TraceKind{Poisson, Bursty, Diurnal} }
+
+// LengthProfile draws prompt and output token counts for one request. In
+// the style of internal/dist's Gaussian activation profiles, lengths are
+// parameterized log-normals (token counts are positive and heavy-tailed),
+// clamped to [1, Max*].
+type LengthProfile struct {
+	// Name labels the profile in renderings ("chat", "rag").
+	Name string
+	// PromptMeanLog/PromptStdLog are the log-space mean and deviation of
+	// the prompt length.
+	PromptMeanLog, PromptStdLog float64
+	// OutputMeanLog/OutputStdLog are the log-space mean and deviation of
+	// the output length.
+	OutputMeanLog, OutputStdLog float64
+	// MaxPrompt and MaxOutput clamp the draws (typically the model's
+	// context budget split between prompt and generation).
+	MaxPrompt, MaxOutput int
+}
+
+// ChatLengths models interactive chat traffic: short prompts (median ~256
+// tokens), medium generations (median ~64 tokens).
+func ChatLengths() LengthProfile {
+	return LengthProfile{
+		Name:          "chat",
+		PromptMeanLog: math.Log(256), PromptStdLog: 0.7,
+		OutputMeanLog: math.Log(64), OutputStdLog: 0.6,
+		MaxPrompt: 2048, MaxOutput: 512,
+	}
+}
+
+// ParseLengthProfile maps a CLI spelling to its built-in length profile,
+// the LengthProfile counterpart of ParseTraceKind.
+func ParseLengthProfile(s string) (LengthProfile, error) {
+	switch strings.ToLower(s) {
+	case "chat":
+		return ChatLengths(), nil
+	case "rag":
+		return RAGLengths(), nil
+	}
+	return LengthProfile{}, fmt.Errorf("serve: unknown length profile %q (want chat|rag)", s)
+}
+
+// RAGLengths models retrieval-augmented traffic: long stuffed prompts
+// (median ~1024 tokens), short grounded answers (median ~48 tokens).
+func RAGLengths() LengthProfile {
+	return LengthProfile{
+		Name:          "rag",
+		PromptMeanLog: math.Log(1024), PromptStdLog: 0.5,
+		OutputMeanLog: math.Log(48), OutputStdLog: 0.5,
+		MaxPrompt: 3584, MaxOutput: 256,
+	}
+}
+
+// draw samples one (prompt, output) pair.
+func (p LengthProfile) draw(rng *rand.Rand) (prompt, output int) {
+	prompt = clampLen(math.Exp(p.PromptMeanLog+p.PromptStdLog*rng.NormFloat64()), p.MaxPrompt)
+	output = clampLen(math.Exp(p.OutputMeanLog+p.OutputStdLog*rng.NormFloat64()), p.MaxOutput)
+	return prompt, output
+}
+
+func clampLen(x float64, max int) int {
+	n := int(math.Round(x))
+	if n < 1 {
+		n = 1
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	return n
+}
+
+// TraceConfig parameterizes a synthetic trace.
+type TraceConfig struct {
+	Kind TraceKind
+	// Rate is the long-run mean arrival rate in requests/second.
+	Rate float64
+	// Requests is the number of requests to draw.
+	Requests int
+	// Seed drives every random draw; identical configs are byte-identical.
+	Seed int64
+	// Lengths is the request length profile (zero value: ChatLengths).
+	Lengths LengthProfile
+
+	// BurstFactor is the ON-phase rate multiplier for Bursty traces
+	// (default 4).
+	BurstFactor float64
+	// Period is the sinusoid period in seconds for Diurnal traces
+	// (default 60).
+	Period float64
+	// Swing is the relative sinusoid amplitude in [0,1) for Diurnal
+	// traces (default 0.8).
+	Swing float64
+}
+
+// Request is one serving request of a trace.
+type Request struct {
+	// ID is the arrival index.
+	ID int
+	// Arrival is the arrival time in seconds from trace start.
+	Arrival float64
+	// Prompt and Output are the token counts.
+	Prompt, Output int
+}
+
+// Trace is a finite, arrival-ordered request schedule.
+type Trace struct {
+	Kind     TraceKind
+	Rate     float64
+	Seed     int64
+	Lengths  string
+	Requests []Request
+}
+
+// Horizon is the arrival time of the last request.
+func (t Trace) Horizon() float64 {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival
+}
+
+// OfferedRate is the realized arrival rate over the trace horizon.
+func (t Trace) OfferedRate() float64 {
+	if h := t.Horizon(); h > 0 {
+		return float64(len(t.Requests)) / h
+	}
+	return 0
+}
+
+// TotalTokens sums prompt and output tokens over the trace.
+func (t Trace) TotalTokens() (prompt, output int64) {
+	for _, r := range t.Requests {
+		prompt += int64(r.Prompt)
+		output += int64(r.Output)
+	}
+	return prompt, output
+}
+
+// NewTrace draws a deterministic trace from the seeded generator.
+func NewTrace(cfg TraceConfig) (Trace, error) {
+	if cfg.Rate <= 0 {
+		return Trace{}, fmt.Errorf("serve: trace rate %g must be positive", cfg.Rate)
+	}
+	if cfg.Requests < 1 {
+		return Trace{}, fmt.Errorf("serve: trace needs at least one request, got %d", cfg.Requests)
+	}
+	if cfg.Lengths == (LengthProfile{}) {
+		cfg.Lengths = ChatLengths()
+	}
+	// Kind-specific knobs are defaulted and validated only for their own
+	// kind, so a shared config struct carrying another kind's settings
+	// stays valid.
+	if cfg.Kind == Bursty {
+		if cfg.BurstFactor == 0 {
+			cfg.BurstFactor = 4
+		}
+		if cfg.BurstFactor <= 1 {
+			return Trace{}, fmt.Errorf("serve: burst factor %g must exceed 1", cfg.BurstFactor)
+		}
+	}
+	if cfg.Kind == Diurnal {
+		if cfg.Period == 0 {
+			cfg.Period = 60
+		}
+		if cfg.Period < 0 {
+			return Trace{}, fmt.Errorf("serve: diurnal period %g must be positive", cfg.Period)
+		}
+		if cfg.Swing == 0 {
+			cfg.Swing = 0.8
+		}
+		if cfg.Swing < 0 || cfg.Swing >= 1 {
+			return Trace{}, fmt.Errorf("serve: diurnal swing %g must be in [0,1)", cfg.Swing)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]float64, 0, cfg.Requests)
+	switch cfg.Kind {
+	case Poisson:
+		t := 0.0
+		for len(arrivals) < cfg.Requests {
+			t += rng.ExpFloat64() / cfg.Rate
+			arrivals = append(arrivals, t)
+		}
+	case Bursty:
+		// Two-state MMPP. ON arrives at BurstFactor*Rate, OFF at
+		// Rate/10; the ON duty cycle p solves
+		// p*BF*R + (1-p)*R/10 = R, and a cycle spans ~40 mean
+		// inter-arrivals so several bursts fit any realistic trace.
+		bf := cfg.BurstFactor
+		p := (1 - 0.1) / (bf - 0.1)
+		cycle := 40 / cfg.Rate
+		onMean, offMean := p*cycle, (1-p)*cycle
+		t, on := 0.0, true
+		phaseLeft := rng.ExpFloat64() * onMean
+		for len(arrivals) < cfg.Requests {
+			rate := bf * cfg.Rate
+			if !on {
+				rate = cfg.Rate / 10
+			}
+			// Draw the next arrival at the phase rate; if the phase ends
+			// first, switch state and redraw (valid by memorylessness).
+			gap := rng.ExpFloat64() / rate
+			if gap < phaseLeft {
+				t += gap
+				phaseLeft -= gap
+				arrivals = append(arrivals, t)
+				continue
+			}
+			t += phaseLeft
+			on = !on
+			mean := onMean
+			if !on {
+				mean = offMean
+			}
+			phaseLeft = rng.ExpFloat64() * mean
+		}
+	case Diurnal:
+		// Thinning against the sinusoidal envelope.
+		peak := cfg.Rate * (1 + cfg.Swing)
+		t := 0.0
+		for len(arrivals) < cfg.Requests {
+			t += rng.ExpFloat64() / peak
+			lambda := cfg.Rate * (1 + cfg.Swing*math.Sin(2*math.Pi*t/cfg.Period))
+			if rng.Float64()*peak <= lambda {
+				arrivals = append(arrivals, t)
+			}
+		}
+	default:
+		return Trace{}, fmt.Errorf("serve: unknown trace kind %v", cfg.Kind)
+	}
+	sort.Float64s(arrivals) // already sorted; guard the invariant
+
+	tr := Trace{Kind: cfg.Kind, Rate: cfg.Rate, Seed: cfg.Seed, Lengths: cfg.Lengths.Name}
+	tr.Requests = make([]Request, cfg.Requests)
+	for i := range tr.Requests {
+		prompt, output := cfg.Lengths.draw(rng)
+		tr.Requests[i] = Request{ID: i, Arrival: arrivals[i], Prompt: prompt, Output: output}
+	}
+	return tr, nil
+}

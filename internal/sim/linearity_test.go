@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mugi/internal/arch"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+)
+
+// allKindDesigns returns one representative design per arch.Kind*.
+func allKindDesigns() []arch.Design {
+	return []arch.Design{
+		arch.Mugi(64),                 // KindMugi
+		arch.MugiL(64),                // KindMugiL
+		arch.Carat(64),                // KindCarat
+		arch.SystolicArray(16, false), // KindSA
+		arch.SIMDArray(16, false),     // KindSD
+		arch.TensorCore(),             // KindTensor
+	}
+}
+
+// linearityWorkload builds a synthetic mixed workload (one GEMM per class
+// plus a nonlinear op) with every op at the given repetition count and the
+// model at the given layer count.
+func linearityWorkload(repeat, layers int) model.Workload {
+	m := model.Llama2_7B
+	m.Layers = layers
+	return model.Workload{
+		Model: m, Batch: 2, CtxLen: 256, Decode: true,
+		Ops: []model.Op{
+			{Class: model.Projection, Name: "q", M: 2, K: 512, N: 512, WeightBits: 4, Repeat: repeat},
+			{Class: model.Attention, Name: "scores", M: 4, K: 64, N: 256, WeightBits: 4, Repeat: repeat},
+			{Class: model.FFN, Name: "up", M: 2, K: 512, N: 2048, WeightBits: 4, Repeat: repeat},
+			{Class: model.Nonlinear, Name: "softmax", Elements: 2048, Repeat: repeat},
+		},
+	}
+}
+
+func sumEnergyByClass(r Result) float64 {
+	var s float64
+	for _, e := range r.EnergyByClass {
+		s += e
+	}
+	return s
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestCyclesAndEnergyLinearInRepeatLayersNodes is the table-driven
+// invariant of the cost model: array cycles and per-class dynamic energy
+// scale linearly in Op.Repeat and Model.Layers, and array cycles scale
+// inversely in mesh node count, on every design kind.
+func TestCyclesAndEnergyLinearInRepeatLayersNodes(t *testing.T) {
+	const tol = 1e-9
+	for _, d := range allKindDesigns() {
+		base := simulate(d, noc.Single, linearityWorkload(1, 4))
+		if base.TotalCycles <= 0 || sumEnergyByClass(base) <= 0 {
+			t.Fatalf("%s: degenerate base run", d.Name)
+		}
+
+		for _, k := range []int{2, 3, 7} {
+			rep := simulate(d, noc.Single, linearityWorkload(k, 4))
+			if r := relErr(rep.TotalCycles, float64(k)*base.TotalCycles); r > tol {
+				t.Errorf("%s: cycles at Repeat=%d off linear by %.2g", d.Name, k, r)
+			}
+			if r := relErr(sumEnergyByClass(rep), float64(k)*sumEnergyByClass(base)); r > tol {
+				t.Errorf("%s: energy at Repeat=%d off linear by %.2g", d.Name, k, r)
+			}
+
+			lay := simulate(d, noc.Single, linearityWorkload(1, 4*k))
+			if r := relErr(lay.TotalCycles, float64(k)*base.TotalCycles); r > tol {
+				t.Errorf("%s: cycles at Layers=%d off linear by %.2g", d.Name, 4*k, r)
+			}
+			if r := relErr(sumEnergyByClass(lay), float64(k)*sumEnergyByClass(base)); r > tol {
+				t.Errorf("%s: energy at Layers=%d off linear by %.2g", d.Name, 4*k, r)
+			}
+		}
+
+		for _, mesh := range []noc.Mesh{noc.NewMesh(2, 1), noc.NewMesh(2, 2), noc.NewMesh(4, 4)} {
+			res := simulate(d, mesh, linearityWorkload(1, 4))
+			want := base.TotalCycles / float64(mesh.Nodes())
+			if r := relErr(res.TotalCycles, want); r > tol {
+				t.Errorf("%s: cycles on %s off 1/nodes by %.2g", d.Name, mesh, r)
+			}
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Params struct {
 	// Bandwidth is the off-chip bandwidth in bytes/s (default
 	// HBMBandwidth when zero).
 	Bandwidth float64
+	// NoCBandwidth is the aggregate NoC bandwidth in bytes/s available to
+	// stream the pass's traffic across a multi-node mesh (default: the
+	// mesh's provisioned bandwidth at the cost table's clock). Ignored on
+	// a single node.
+	NoCBandwidth float64
 }
 
 // WithDefaults materializes the zero-value defaults (HBM bandwidth, single
@@ -43,6 +48,9 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.Cost.Frequency == 0 {
 		p.Cost = arch.Cost45nm
+	}
+	if p.NoCBandwidth == 0 {
+		p.NoCBandwidth = p.Mesh.ProvisionedBandwidth(p.Cost.Frequency)
 	}
 	return p
 }
@@ -77,6 +85,19 @@ type Result struct {
 	DRAMBytes int64
 	// Utilization is useful MACs over array MAC capacity during GEMMs.
 	Utilization float64
+
+	// NoCRequiredBandwidth is the aggregate NoC bandwidth (bytes/s) the
+	// pass needs so the network never stalls the arrays — the paper's §4.2
+	// provisioning claim, now measured instead of assumed. Zero on a
+	// single node.
+	NoCRequiredBandwidth float64
+	// NoCBandwidth is the configured aggregate NoC bandwidth the pass ran
+	// against (zero on a single node).
+	NoCBandwidth float64
+	// NoCLimited reports that the configured NoC bandwidth could not
+	// sustain the pass; Seconds was extended to the network-streaming time
+	// as the fail-safe.
+	NoCLimited bool
 }
 
 // TokensPerJoule is the energy-efficiency axis of Table 3 (dynamic
@@ -167,9 +188,9 @@ func Simulate(p Params, w model.Workload) Result {
 		rep := float64(max(op.Repeat, 1))
 		layers := float64(w.Model.Layers)
 		if op.Class == model.Nonlinear {
-			cyc := nlCycles(d, op) * layers / nodes
+			cyc := nlCycles(d, op) * rep * layers / nodes
 			res.CyclesByClass[model.Nonlinear] += cyc
-			res.EnergyByClass[model.Nonlinear] += float64(op.Elements) * layers *
+			res.EnergyByClass[model.Nonlinear] += float64(op.Elements) * rep * layers *
 				(d.EnergyPerNLElement(p.Cost) + p.Cost.EnergyVecOp)
 			continue
 		}
@@ -199,6 +220,17 @@ func Simulate(p Params, w model.Workload) Result {
 	res.Seconds = res.ComputeSeconds
 	if res.MemorySeconds > res.Seconds {
 		res.Seconds = res.MemorySeconds
+	}
+	if p.Mesh.Nodes() > 1 {
+		res.NoCRequiredBandwidth = p.Mesh.RequiredBandwidth(res.DRAMBytes, res.Seconds)
+		res.NoCBandwidth = p.NoCBandwidth
+		if p.NoCBandwidth > 0 && res.NoCRequiredBandwidth > p.NoCBandwidth {
+			// Fail-safe: an under-provisioned network throttles the pass
+			// to its streaming time instead of silently overreporting
+			// throughput.
+			res.NoCLimited = true
+			res.Seconds = float64(res.DRAMBytes) / p.NoCBandwidth
+		}
 	}
 
 	for _, e := range res.EnergyByClass {

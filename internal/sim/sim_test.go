@@ -222,3 +222,68 @@ func TestEnergyPerTokenHelper(t *testing.T) {
 		t.Error("zero tokens should return 0")
 	}
 }
+
+// TestNonlinearHonorsRepeat is the regression guard for the dropped
+// Op.Repeat on the Nonlinear branch: cycles and energy must scale with the
+// repetition count exactly like the GEMM classes.
+func TestNonlinearHonorsRepeat(t *testing.T) {
+	base := model.Workload{
+		Model: model.Llama2_7B, Batch: 1, CtxLen: 128, Decode: true,
+		Ops: []model.Op{{Class: model.Nonlinear, Name: "softmax", Elements: 4096, Repeat: 1}},
+	}
+	rep := base
+	rep.Ops = []model.Op{{Class: model.Nonlinear, Name: "softmax", Elements: 4096, Repeat: 3}}
+	for _, d := range []arch.Design{arch.Mugi(128), arch.Carat(128), arch.SystolicArray(16, false)} {
+		one := simulate(d, noc.Single, base)
+		three := simulate(d, noc.Single, rep)
+		if r := three.CyclesByClass[model.Nonlinear] / one.CyclesByClass[model.Nonlinear]; math.Abs(r-3) > 1e-9 {
+			t.Errorf("%s: Repeat=3 nonlinear cycles scaled %.3fx, want 3x", d.Name, r)
+		}
+		if r := three.EnergyByClass[model.Nonlinear] / one.EnergyByClass[model.Nonlinear]; math.Abs(r-3) > 1e-9 {
+			t.Errorf("%s: Repeat=3 nonlinear energy scaled %.3fx, want 3x", d.Name, r)
+		}
+	}
+}
+
+// TestNoCBandwidthReported: a 4×4 mesh must surface the bandwidth the
+// pass needs and the provisioned default it ran against — and the default
+// provisioning must sustain every HBM-fed workload (required is capped by
+// the 256 GB/s off-chip stream, the paper's "never bottlenecks" claim).
+func TestNoCBandwidthReported(t *testing.T) {
+	mesh := noc.NewMesh(4, 4)
+	r := simulate(arch.Mugi(256), mesh, decode70B())
+	if r.NoCRequiredBandwidth <= 0 {
+		t.Fatal("4x4 mesh pass reported no required NoC bandwidth")
+	}
+	if want := mesh.ProvisionedBandwidth(arch.Cost45nm.Frequency); r.NoCBandwidth != want {
+		t.Errorf("configured NoC bandwidth %.3g, want provisioned default %.3g", r.NoCBandwidth, want)
+	}
+	if r.NoCLimited {
+		t.Error("default provisioning must sustain the Table-3 workload")
+	}
+	if r.NoCRequiredBandwidth > HBMBandwidth {
+		t.Errorf("required NoC bandwidth %.3g exceeds the HBM stream %.3g", r.NoCRequiredBandwidth, HBMBandwidth)
+	}
+	single := simulate(arch.Mugi(256), noc.Single, decode70B())
+	if single.NoCRequiredBandwidth != 0 || single.NoCBandwidth != 0 || single.NoCLimited {
+		t.Error("single node must not report NoC bandwidth")
+	}
+}
+
+// TestNoCBandwidthFailSafe: when the configured channel bandwidth cannot
+// sustain the pass, the simulator must extend the pass to the network
+// streaming time instead of silently overreporting throughput.
+func TestNoCBandwidthFailSafe(t *testing.T) {
+	w := decode70B()
+	starved := Simulate(Params{Design: arch.Mugi(256), Mesh: noc.NewMesh(4, 4), NoCBandwidth: 1e9}, w)
+	if !starved.NoCLimited {
+		t.Fatal("1 GB/s NoC must be flagged as limiting")
+	}
+	if want := float64(starved.DRAMBytes) / 1e9; starved.Seconds != want {
+		t.Errorf("throttled Seconds %.4f, want streaming time %.4f", starved.Seconds, want)
+	}
+	healthy := Simulate(Params{Design: arch.Mugi(256), Mesh: noc.NewMesh(4, 4)}, w)
+	if starved.TokensPerSecond >= healthy.TokensPerSecond {
+		t.Error("starved NoC must lower throughput")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"mugi/internal/noc"
 	"mugi/internal/nonlinear"
 	"mugi/internal/runner"
+	"mugi/internal/serve"
 	"mugi/internal/sim"
 	"mugi/internal/tensor"
 )
@@ -200,6 +201,59 @@ func Simulate(p SimParams, w Workload) SimResult { return sim.Simulate(p, w) }
 
 // HBMBandwidth is the evaluated off-chip bandwidth (256 GB/s).
 const HBMBandwidth = sim.HBMBandwidth
+
+// ---- Request-level serving ----
+
+// TraceKind selects a synthetic arrival process for the serving simulator.
+type TraceKind = serve.TraceKind
+
+// The arrival processes.
+const (
+	TracePoisson = serve.Poisson
+	TraceBursty  = serve.Bursty
+	TraceDiurnal = serve.Diurnal
+)
+
+// TraceConfig parameterizes a synthetic request trace (arrival process,
+// mean rate, request count, seed, and length profile).
+type TraceConfig = serve.TraceConfig
+
+// RequestTrace is a finite, arrival-ordered schedule of serving requests.
+type RequestTrace = serve.Trace
+
+// LengthProfile draws per-request prompt/output token counts.
+type LengthProfile = serve.LengthProfile
+
+// ChatLengths and RAGLengths are the built-in request length profiles.
+func ChatLengths() LengthProfile { return serve.ChatLengths() }
+
+// RAGLengths models long-prompt retrieval-augmented traffic.
+func RAGLengths() LengthProfile { return serve.RAGLengths() }
+
+// NewTrace draws a deterministic request trace: identical configs yield
+// byte-identical traces.
+func NewTrace(cfg TraceConfig) (RequestTrace, error) { return serve.NewTrace(cfg) }
+
+// ParseTraceKind maps "poisson"/"bursty"/"diurnal" to its TraceKind.
+func ParseTraceKind(s string) (TraceKind, error) { return serve.ParseTraceKind(s) }
+
+// ParseLengthProfile maps "chat"/"rag" to its built-in length profile.
+func ParseLengthProfile(s string) (LengthProfile, error) { return serve.ParseLengthProfile(s) }
+
+// ServeConfig bundles the serving-simulation inputs: served model,
+// hardware design and mesh, batch cap, and KV-cache budget.
+type ServeConfig = serve.Config
+
+// ServeReport is one serving simulation: offered vs. sustained
+// throughput, TTFT/TPOT/latency percentiles, scheduler occupancy, and
+// energy per request.
+type ServeReport = serve.Report
+
+// Serve drives a request trace through the continuous-batching scheduler
+// over the architecture simulator's step costs (memoized through the
+// experiment runner's cache). Identical (config, trace) inputs produce a
+// byte-identical report at any runner parallelism.
+func Serve(cfg ServeConfig, tr RequestTrace) (ServeReport, error) { return serve.Run(cfg, tr) }
 
 // ---- Carbon ----
 

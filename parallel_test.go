@@ -3,6 +3,8 @@ package mugi
 import (
 	"strings"
 	"testing"
+
+	"mugi/internal/runner"
 )
 
 // TestRunExperimentResolvesEveryRegistryID is the regression guard for the
@@ -66,5 +68,35 @@ func TestRunAllParallelMatchesSerialFacade(t *testing.T) {
 	}
 	if hits, misses := SimCacheStats(); hits == 0 || misses == 0 {
 		t.Errorf("cache accounting degenerate: %d hits / %d misses", hits, misses)
+	}
+}
+
+// TestServeDeterministicAcrossParallelism is the serving-simulator
+// spelling of the same guarantee: one seeded trace driven through Serve
+// renders byte-identical reports whether the sim cache is fed serially or
+// by eight workers.
+func TestServeDeterministicAcrossParallelism(t *testing.T) {
+	tr, err := NewTrace(TraceConfig{Kind: TraceBursty, Rate: 0.3, Requests: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServeConfig{Model: Llama2_7B, Design: NewMugi(256), Mesh: NewMesh(2, 2)}
+	defer runner.SetParallelism(0)
+	defer ResetSimCache()
+	renderings := make([]string, 2)
+	for i, par := range []int{1, 8} {
+		runner.SetParallelism(par)
+		ResetSimCache()
+		rep, err := Serve(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renderings[i] = rep.String()
+	}
+	if renderings[0] != renderings[1] {
+		t.Error("serving report diverges across runner parallelism")
+	}
+	if tr2, _ := NewTrace(TraceConfig{Kind: TraceBursty, Rate: 0.3, Requests: 24, Seed: 11}); tr2.Horizon() != tr.Horizon() {
+		t.Error("trace generation not deterministic")
 	}
 }
