@@ -8,7 +8,7 @@ GO ?= go
 # the same check the workflow runs.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench lint fmt ci
+.PHONY: build test race bench bench-json lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ race:
 # of the ms/artifact trajectory for BENCH_*.json snapshots.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Regenerate the hot-path perf trajectory (ns/op + allocs/op for the VLP
+# GEMM, decode step, proxy loss, simulator pass, and serving run). Fails
+# if any zero-allocation path allocates. CI runs the same emitter with
+# -benchiters 1 as a smoke check.
+bench-json:
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR3.json
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -15,7 +15,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"mugi/internal/accuracy"
 	"mugi/internal/core"
+	"mugi/internal/dist"
 	"mugi/internal/experiments"
 	"mugi/internal/runner"
 )
@@ -220,7 +222,9 @@ func BenchmarkVLPSoftmaxRow(b *testing.B) {
 	}
 }
 
-// BenchmarkVLPGEMM measures the functional VLP GEMM engine.
+// BenchmarkVLPGEMM measures the functional VLP GEMM engine on its hot
+// path: the blocked MultiplyInto kernel with a warmed scratch, zero
+// steady-state allocations (asserted by TestMultiplyIntoZeroAlloc).
 func BenchmarkVLPGEMM(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	a := NewMatrix(8, 512)
@@ -233,10 +237,57 @@ func BenchmarkVLPGEMM(b *testing.B) {
 	}
 	q := QuantizeWeights(w, 4, 128)
 	cfg := GEMMConfig{Rows: 128, Cols: 8, Mapping: MappingMugi}
+	out := NewMatrix(8, 512)
+	var scratch GEMMScratch
 	b.SetBytes(int64(8 * 512 * 512))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Multiply(cfg, a, q)
+		MultiplyInto(cfg, a, q, out, &scratch)
+	}
+}
+
+// BenchmarkDecodeStep measures one token through the full functional
+// stack — VLP weight GEMMs, KVQ cache append + attention, VLP softmax and
+// activation, RoPE from the precomputed frequency table. A warmed step is
+// allocation-free; the engine resets when the KV window fills.
+func BenchmarkDecodeStep(b *testing.B) {
+	cfg := DecoderConfig{
+		Layers: 2, Heads: 4, KVHeads: 2, Dim: 32, FFN: 64,
+		Vocab: 64, MaxSeq: 4096, RoPE: true,
+		Activation: SiLU, Seed: 99,
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := VLPDecoderOps(cfg.Activation)
+	if _, err := dec.Step(1, ops); err != nil { // warm scratch + tables
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dec.Pos() >= cfg.MaxSeq {
+			dec.Reset()
+		}
+		if _, err := dec.Step(i%cfg.Vocab, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyLoss measures one exact-stack proxy Loss evaluation, the
+// unit of work of every Fig. 6/7 accuracy-sweep cell. A warmed Loss runs
+// entirely out of the proxy's scratch pool.
+func BenchmarkProxyLoss(b *testing.B) {
+	p := accuracy.NewProxy(accuracy.DefaultProxy(dist.Llama2))
+	impl := accuracy.Uniform(accuracy.ExactImpl(p.Config().Activation))
+	p.Loss(impl) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Loss(impl)
 	}
 }
 

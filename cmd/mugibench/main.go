@@ -7,6 +7,8 @@
 //	mugibench -exp all -parallel 8  # same, fanned over 8 workers
 //	mugibench -exp tab3             # one artifact
 //	mugibench -list                 # available experiment ids
+//	mugibench -json                 # perf trajectory -> BENCH_PR3.json
+//	mugibench -json -benchiters 1   # CI smoke: 1 iteration per kernel
 package main
 
 import (
@@ -23,7 +25,23 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonBench := flag.Bool("json", false, "run the hot-path perf benchmarks and write the ns/op + allocs/op trajectory")
+	benchFilePath := flag.String("benchfile", "BENCH_PR3.json", "output path for the -json trajectory")
+	benchIters := flag.Int("benchiters", 0, "iterations per -json kernel (0 = auto-calibrate)")
 	flag.Parse()
+
+	if *jsonBench {
+		// Default the benchmark pool to serial so ns/op is a stable,
+		// machine-comparable trajectory; -parallel overrides explicitly.
+		p := *parallel
+		if p == 0 {
+			p = 1
+		}
+		if err := runPerfJSON(*benchFilePath, *benchIters, p); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range mugi.Experiments() {

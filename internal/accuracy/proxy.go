@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"mugi/internal/core"
 	"mugi/internal/dist"
 	"mugi/internal/nonlinear"
+	"mugi/internal/runner"
 	"mugi/internal/tensor"
 )
 
@@ -105,7 +107,86 @@ type Proxy struct {
 	tokens  []int
 	targets []int
 	smProf  dist.Profile
+
+	// scratchMu guards the free list of forward-pass scratch sets. Loss
+	// calls borrow a set and return it, so repeated (and concurrent — the
+	// Fig.-6 sweeps map cells over the runner pool) evaluations reuse the
+	// same matrices instead of reallocating the whole forward state.
+	scratchMu sync.Mutex
+	scratch   []*fwdScratch
+
+	// headParallel fans the attention heads of each layer across the
+	// runner pool (see SetHeadParallel).
+	headParallel bool
 }
+
+// fwdScratch is one complete set of forward-pass working matrices. Every
+// buffer is fully overwritten by forwardInto before being read, so reuse
+// across Loss calls cannot leak state between evaluations.
+type fwdScratch struct {
+	x, q, k, v       *tensor.Matrix
+	attnOut, proj    *tensor.Matrix
+	hidden, ffnOut   *tensor.Matrix
+	logits           *tensor.Matrix
+	scores, probs    [][]float64 // per head, so parallel heads stay disjoint
+	ctx              [][]float64 // per-head float64 context accumulators
+	lossRow, lossPrb []float64
+}
+
+func (p *Proxy) newScratch() *fwdScratch {
+	cfg := p.cfg
+	s := &fwdScratch{
+		x:       tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		q:       tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		k:       tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		v:       tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		attnOut: tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		proj:    tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		hidden:  tensor.NewMatrix(cfg.SeqLen, cfg.FFN),
+		ffnOut:  tensor.NewMatrix(cfg.SeqLen, cfg.Dim),
+		logits:  tensor.NewMatrix(cfg.SeqLen, cfg.Vocab),
+		scores:  make([][]float64, cfg.Heads),
+		probs:   make([][]float64, cfg.Heads),
+		ctx:     make([][]float64, cfg.Heads),
+	}
+	hd := cfg.Dim / cfg.Heads
+	for h := 0; h < cfg.Heads; h++ {
+		s.scores[h] = make([]float64, cfg.SeqLen)
+		s.probs[h] = make([]float64, cfg.SeqLen)
+		s.ctx[h] = make([]float64, hd)
+	}
+	s.lossRow = make([]float64, cfg.Vocab)
+	s.lossPrb = make([]float64, cfg.Vocab)
+	return s
+}
+
+func (p *Proxy) getScratch() *fwdScratch {
+	p.scratchMu.Lock()
+	if n := len(p.scratch); n > 0 {
+		s := p.scratch[n-1]
+		p.scratch = p.scratch[:n-1]
+		p.scratchMu.Unlock()
+		return s
+	}
+	p.scratchMu.Unlock()
+	return p.newScratch()
+}
+
+func (p *Proxy) putScratch(s *fwdScratch) {
+	p.scratchMu.Lock()
+	p.scratch = append(p.scratch, s)
+	p.scratchMu.Unlock()
+}
+
+// SetHeadParallel toggles deterministic per-head parallelism: the
+// attention heads of each layer are fanned over the experiment runner's
+// worker pool. Every head writes only its own attnOut columns and its own
+// score/probability rows, so the result is byte-identical to the serial
+// walk at any parallelism. The Impl under evaluation must be safe for
+// concurrent Softmax calls (ExactImpl is; a shared stateful VLP window is
+// not), which is why it is opt-in. SetHeadParallel must not be called
+// concurrently with Loss; it is a configuration-time switch.
+func (p *Proxy) SetHeadParallel(on bool) { p.headParallel = on }
 
 // NewProxy builds the proxy model; it panics on invalid configs or unknown
 // families.
@@ -140,7 +221,9 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	// approximation error shows up as perplexity increase; the proxy
 	// recreates that by treating the exact forward pass as the calibrated
 	// reference that perturbations can only degrade on average.
-	logits := p.forward(Uniform(ExactImpl(cfg.Activation)))
+	s := p.getScratch()
+	defer p.putScratch(s)
+	logits := p.forward(s, Uniform(ExactImpl(cfg.Activation)), false)
 	p.targets = make([]int, cfg.SeqLen)
 	for t := 0; t < cfg.SeqLen; t++ {
 		best, bestV := 0, float32(math.Inf(-1))
@@ -160,18 +243,11 @@ func (p *Proxy) Config() ProxyConfig { return p.cfg }
 // rmsNorm rescales every row to unit RMS, the normalization that keeps the
 // residual stream bounded across layers (the proxy's stand-in for RMSNorm /
 // LayerNorm, which the paper's §7.1 notes run on the vector unit and are
-// not approximated).
+// not approximated). The per-row math is the stack's shared helper, the
+// same implementation the functional decoder applies to its residual.
 func rmsNorm(x *tensor.Matrix) {
 	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		ss := 0.0
-		for _, v := range row {
-			ss += float64(v) * float64(v)
-		}
-		rms := math.Sqrt(ss/float64(len(row)) + 1e-8)
-		for j := range row {
-			row[j] = float32(float64(row[j]) / rms)
-		}
+		tensor.RMSNormRow(x.Row(i))
 	}
 }
 
@@ -217,13 +293,23 @@ func Uniform(impl Impl) LayerImpls {
 
 // Loss runs the proxy forward pass with the given per-layer nonlinear
 // implementations and returns the mean cross-entropy against the exact
-// model's self-distillation targets.
+// model's self-distillation targets. All working matrices come from the
+// proxy's scratch pool, so a warmed Loss performs zero steady-state
+// allocations.
 func (p *Proxy) Loss(impls LayerImpls) float64 {
+	return p.loss(impls, p.headParallel)
+}
+
+// loss is Loss with the head fan-out decided by the caller, so
+// CollectSoftmaxInputs can force a serial pass without mutating shared
+// proxy state under concurrent Loss calls.
+func (p *Proxy) loss(impls LayerImpls, headParallel bool) float64 {
 	cfg := p.cfg
-	logits := p.forward(impls)
+	s := p.getScratch()
+	defer p.putScratch(s)
+	logits := p.forward(s, impls, headParallel)
 	loss := 0.0
-	row := make([]float64, cfg.Vocab)
-	prob := make([]float64, cfg.Vocab)
+	row, prob := s.lossRow, s.lossPrb
 	for t := 0; t < cfg.SeqLen; t++ {
 		for j := 0; j < cfg.Vocab; j++ {
 			row[j] = float64(logits.At(t, j))
@@ -238,61 +324,93 @@ func (p *Proxy) Loss(impls LayerImpls) float64 {
 	return loss / float64(cfg.SeqLen)
 }
 
-// forward runs the transformer and returns the output logits.
-func (p *Proxy) forward(impls LayerImpls) *tensor.Matrix {
+// forward runs the transformer in the given scratch set and returns the
+// output logits (valid until the scratch is reused). The attention loops
+// hoist contiguous head rows and accumulate the context in row-major
+// order for cache locality; per output element the float operation
+// sequence is unchanged, so results are bit-identical to the seed.
+func (p *Proxy) forward(s *fwdScratch, impls LayerImpls, headParallel bool) *tensor.Matrix {
 	cfg := p.cfg
 	seq := cfg.SeqLen
-	x := tensor.NewMatrix(seq, cfg.Dim)
+	x := s.x
 	for t := 0; t < seq; t++ {
 		copy(x.Row(t), p.embed.Row(p.tokens[t]))
 	}
-	hd := cfg.Dim / cfg.Heads
 	for l := 0; l < cfg.Layers; l++ {
 		impl := impls(l)
 		df := p.depth(l)
-		q := tensor.MatMul(x, p.wq[l])
-		k := tensor.MatMul(x, p.wk[l])
-		v := tensor.MatMul(x, p.wv[l])
-		attnOut := tensor.NewMatrix(seq, cfg.Dim)
-		scores := make([]float64, seq)
-		probs := make([]float64, seq)
-		for h := 0; h < cfg.Heads; h++ {
-			off := h * hd
-			for i := 0; i < seq; i++ {
-				for j := 0; j < seq; j++ {
-					acc := 0.0
-					for d := 0; d < hd; d++ {
-						acc += float64(q.At(i, off+d)) * float64(k.At(j, off+d))
-					}
-					scores[j] = acc / math.Sqrt(float64(hd))
-				}
-				p.calibrateScores(scores, df)
-				impl.Softmax(probs, scores)
-				for d := 0; d < hd; d++ {
-					acc := 0.0
-					for j := 0; j < seq; j++ {
-						acc += probs[j] * float64(v.At(j, off+d))
-					}
-					attnOut.Set(i, off+d, float32(acc))
-				}
+		tensor.MatMulInto(s.q, x, p.wq[l])
+		tensor.MatMulInto(s.k, x, p.wk[l])
+		tensor.MatMulInto(s.v, x, p.wv[l])
+		if headParallel {
+			// The closure escapes into the pool; the serial path below
+			// stays allocation-free by calling the method directly.
+			runner.Map(cfg.Heads, func(h int) { p.runHead(s, impl, df, h) })
+		} else {
+			for h := 0; h < cfg.Heads; h++ {
+				p.runHead(s, impl, df, h)
 			}
 		}
-		proj := tensor.MatMul(attnOut, p.wo[l])
+		proj := tensor.MatMulInto(s.proj, s.attnOut, p.wo[l])
 		for i := range x.Data {
 			x.Data[i] += proj.Data[i]
 		}
 		rmsNorm(x)
-		hidden := tensor.MatMul(x, p.w1[l])
+		hidden := tensor.MatMulInto(s.hidden, x, p.w1[l])
 		for i := range hidden.Data {
 			hidden.Data[i] = float32(impl.Act(float64(hidden.Data[i])))
 		}
-		ffnOut := tensor.MatMul(hidden, p.w2[l])
+		ffnOut := tensor.MatMulInto(s.ffnOut, hidden, p.w2[l])
 		for i := range x.Data {
 			x.Data[i] += ffnOut.Data[i]
 		}
 		rmsNorm(x)
 	}
-	return tensor.MatMul(x, p.wout)
+	return tensor.MatMulInto(s.logits, x, p.wout)
+}
+
+// runHead computes one attention head over the scratch's q/k/v matrices,
+// writing only its own attnOut columns and touching only its own per-head
+// score/probability/context rows — the disjointness that makes per-head
+// parallelism deterministic. The loops hoist contiguous head rows (scores)
+// and walk the value rows j-outer (context) for cache locality; each
+// output element's float accumulation order is exactly the seed's, so
+// results are bit-identical.
+func (p *Proxy) runHead(s *fwdScratch, impl Impl, df float64, h int) {
+	cfg := p.cfg
+	seq := cfg.SeqLen
+	hd := cfg.Dim / cfg.Heads
+	sqrtHD := math.Sqrt(float64(hd))
+	off := h * hd
+	q, k, v, attnOut := s.q, s.k, s.v, s.attnOut
+	scores, probs, ctx := s.scores[h], s.probs[h], s.ctx[h]
+	for i := 0; i < seq; i++ {
+		qrow := q.Row(i)[off : off+hd]
+		for j := 0; j < seq; j++ {
+			krow := k.Row(j)[off : off+hd]
+			acc := 0.0
+			for d, qv := range qrow {
+				acc += float64(qv) * float64(krow[d])
+			}
+			scores[j] = acc / sqrtHD
+		}
+		p.calibrateScores(scores, df)
+		impl.Softmax(probs, scores)
+		for d := range ctx {
+			ctx[d] = 0
+		}
+		for j := 0; j < seq; j++ {
+			pj := probs[j]
+			vrow := v.Row(j)[off : off+hd]
+			for d, vv := range vrow {
+				ctx[d] += pj * float64(vv)
+			}
+		}
+		out := attnOut.Row(i)[off : off+hd]
+		for d := range ctx {
+			out[d] = float32(ctx[d])
+		}
+	}
 }
 
 // Perplexity is exp(Loss).
@@ -302,6 +420,10 @@ func (p *Proxy) Perplexity(impls LayerImpls) float64 {
 
 // CollectSoftmaxInputs runs the exact forward pass and gathers the
 // calibrated score rows per layer — the samples the window tuner consumes.
+// The collector closure appends to shared state, so this pass always runs
+// with heads serial, regardless of SetHeadParallel (forced per call rather
+// than by mutating the shared flag, which would race with concurrent Loss
+// evaluations).
 func (p *Proxy) CollectSoftmaxInputs(maxRowsPerLayer int) [][]float64 {
 	out := make([][]float64, p.cfg.Layers)
 	cur := -1
@@ -330,6 +452,6 @@ func (p *Proxy) CollectSoftmaxInputs(maxRowsPerLayer int) [][]float64 {
 			Act: impl.Act,
 		}
 	}
-	p.Loss(collector)
+	p.loss(collector, false)
 	return out
 }

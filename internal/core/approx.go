@@ -189,20 +189,28 @@ type BatchStats struct {
 	Cycles int
 }
 
+// ApproxSlice evaluates every input against the current sliding window,
+// writing results into dst (which may alias xs). It is the batched,
+// allocation-free form of Approx the GEMM/softmax hot paths call instead of
+// dispatching one element at a time through the Approximator interface.
+func (a *Approx) ApproxSlice(dst, xs []float64) {
+	if len(dst) != len(xs) {
+		panic("core: ApproxSlice length mismatch")
+	}
+	for i, x := range xs {
+		dst[i] = a.Approx(x)
+	}
+}
+
 // ApproxBatch evaluates all inputs with the current window on an array of
 // `rows` rows, writing results to dst (which may alias xs) and returning
 // the timing. Window selection is the caller's responsibility (hardware
 // runs SelectWindowMax per mapping; tuned flows use SelectWindowMass).
 func (a *Approx) ApproxBatch(dst, xs []float64, rows int) BatchStats {
-	if len(dst) != len(xs) {
-		panic("core: ApproxBatch length mismatch")
-	}
 	if rows < 1 {
 		panic("core: ApproxBatch rows < 1")
 	}
-	for i, x := range xs {
-		dst[i] = a.Approx(x)
-	}
+	a.ApproxSlice(dst, xs)
 	waves := (len(xs) + rows - 1) / rows
 	manWin := WindowCycles(a.cfg.ManBits)
 	cycles := 0
@@ -227,11 +235,22 @@ func (a *Approx) Softmax(dst, xs []float64) []float64 {
 				max = v
 			}
 		}
-		shifted := make([]float64, len(xs))
-		for i, v := range xs {
-			shifted[i] = v - max
+		// Window selection over the max-subtracted operands (what exp
+		// actually sees) without materializing them: the same exponent scan
+		// as SelectWindowMax, inlined so the hot path stays allocation-free.
+		maxE := math.MinInt32
+		for _, v := range xs {
+			f := numerics.Split(float32(v-max), a.cfg.ManBits)
+			if f.Class != numerics.ClassNormal {
+				continue
+			}
+			if f.Exp > maxE {
+				maxE = f.Exp
+			}
 		}
-		a.SelectWindowMax(shifted)
+		if maxE != math.MinInt32 {
+			a.SetWindow(maxE - a.cfg.WindowWidth + 1)
+		}
 	}
 	return nonlinear.Softmax(dst, xs, a.Approx)
 }

@@ -53,8 +53,25 @@ type QuantMatrix struct {
 	Bits       int
 	GroupSize  int // group extent along K
 	Codes      []int8
-	// Scales is indexed [col*groups + g] where g = k/GroupSize.
+	// Scales is indexed [col*groups + g] where g = k/GroupSize, unless
+	// SharedScales selects the per-group layout below.
 	Scales []float32
+	// Stride is the row stride of Codes in elements; zero means Cols.
+	// Views over a larger backing buffer (the KV-cache key planes) set it
+	// so Multiply can read cached codes without repacking.
+	Stride int
+	// SharedScales marks the KVQ value-cache layout: Scales holds one
+	// scale per K-group (len = groups) shared by every column, instead of
+	// per-column groups.
+	SharedScales bool
+}
+
+// stride returns the row stride of Codes.
+func (q QuantMatrix) stride() int {
+	if q.Stride != 0 {
+		return q.Stride
+	}
+	return q.Cols
 }
 
 // QuantizeWeights quantizes w (K×N) to signed `bits` codes with symmetric
@@ -107,10 +124,13 @@ func QuantizeWeights(w *tensor.Matrix, bits, groupSize int) QuantMatrix {
 }
 
 // Code returns the integer code at (k, n).
-func (q QuantMatrix) Code(k, n int) int8 { return q.Codes[k*q.Cols+n] }
+func (q QuantMatrix) Code(k, n int) int8 { return q.Codes[k*q.stride()+n] }
 
 // Scale returns the dequantization scale for (k, n).
 func (q QuantMatrix) Scale(k, n int) float32 {
+	if q.SharedScales {
+		return q.Scales[k/q.GroupSize]
+	}
 	groups := (q.Rows + q.GroupSize - 1) / q.GroupSize
 	return q.Scales[n*groups+k/q.GroupSize]
 }
@@ -168,6 +188,47 @@ func (s GEMMStats) EffectiveMACsPerCycle() float64 {
 	return float64(s.MACs) / float64(s.Cycles)
 }
 
+// GEMMScratch holds the reusable buffers of MultiplyInto: the float64
+// group/row accumulators and the per-group dequant-scale rows gathered once
+// per call. Buffers grow on demand and are retained, so a warmed scratch
+// makes MultiplyInto allocation-free. A scratch must not be shared between
+// concurrent calls.
+type GEMMScratch struct {
+	acc, gacc []float64
+	scaleT    []float32
+}
+
+// Reserve pre-sizes the scratch for outputs up to n columns and gathered
+// scale tables up to scaleLen (= groups × columns) entries, so subsequent
+// MultiplyInto calls within those bounds never allocate. The functional
+// decoder reserves for its largest projection and the full KV context up
+// front, making every warmed Step allocation-free.
+func (s *GEMMScratch) Reserve(n, scaleLen int) {
+	if cap(s.acc) < n {
+		s.acc = make([]float64, n)
+		s.gacc = make([]float64, n)
+	}
+	if cap(s.scaleT) < scaleLen {
+		s.scaleT = make([]float32, scaleLen)
+	}
+}
+
+// ensure grows the scratch to cover an n-column output with a gathered
+// scale table of scaleLen entries (zero for SharedScales operands, whose
+// gather is skipped, so a growing value-cache context never resizes it).
+func (s *GEMMScratch) ensure(n, scaleLen int) {
+	if cap(s.acc) < n {
+		s.acc = make([]float64, n)
+		s.gacc = make([]float64, n)
+	}
+	s.acc = s.acc[:n]
+	s.gacc = s.gacc[:n]
+	if cap(s.scaleT) < scaleLen {
+		s.scaleT = make([]float32, scaleLen)
+	}
+	s.scaleT = s.scaleT[:scaleLen]
+}
+
 // Multiply computes C = A × Wq on the VLP array: A is an M×K BF16
 // activation (query) matrix, Wq a K×N quantized weight/KV matrix. The
 // arithmetic is the temporal-subscription arithmetic (magnitude × addend
@@ -179,66 +240,102 @@ func (s GEMMStats) EffectiveMACsPerCycle() float64 {
 // Under MappingCaratBF16, tokens tile the rows, weights tile the columns,
 // and each reduction step costs a 128-cycle window.
 func Multiply(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix) (*tensor.Matrix, GEMMStats) {
+	out := tensor.NewMatrix(a.Rows, wq.Cols)
+	stats := MultiplyInto(cfg, a, wq, out, nil)
+	return out, stats
+}
+
+// MultiplyInto is the scratch-reusing form of Multiply: it writes A × Wq
+// into out (which must be A.Rows × Wq.Cols and is fully overwritten) and
+// returns the cycle statistics. A nil scratch allocates a private one; a
+// warmed scratch makes the call allocation-free. Results are bit-identical
+// to Multiply: the kernel is blocked by quantization group with the same
+// per-element accumulation order, only the loop nest is rearranged so code
+// rows stream contiguously and per-group dequant scales are gathered once
+// per call instead of once per output row.
+func MultiplyInto(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix, out *tensor.Matrix, scratch *GEMMScratch) GEMMStats {
 	cfg.validate()
+	if cfg.Mapping == MappingCaratFP8 {
+		panic("core: MappingCaratFP8 is a cycle model only (use PlanCycles)")
+	}
 	if a.Cols != wq.Rows {
 		panic(fmt.Sprintf("core: GEMM shapes %dx%d · %dx%d", a.Rows, a.Cols, wq.Rows, wq.Cols))
 	}
 	m, k, n := a.Rows, a.Cols, wq.Cols
-	out := tensor.NewMatrix(m, n)
+	if out.Rows != m || out.Cols != n {
+		panic(fmt.Sprintf("core: GEMM out %dx%d, want %dx%d", out.Rows, out.Cols, m, n))
+	}
+	if scratch == nil {
+		scratch = &GEMMScratch{}
+	}
+	gs := wq.GroupSize
+	groups := (k + gs - 1) / gs
+	scaleLen := 0
+	if !wq.SharedScales {
+		scaleLen = n * groups
+	}
+	scratch.ensure(n, scaleLen)
+	acc, gacc := scratch.acc, scratch.gacc
+	stride := wq.stride()
+	// Gather the dequant scales g-major once per call (they are stored
+	// column-major); the value cache shares one scale per group across
+	// columns and skips the gather entirely.
+	scaleT := scratch.scaleT
+	if !wq.SharedScales {
+		for g := 0; g < groups; g++ {
+			row := scaleT[g*n : (g+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] = wq.Scales[j*groups+g]
+			}
+		}
+	}
 	// Functional compute via subscription arithmetic: product =
 	// sign ⊕ (magnitude-cycle subscription of the BF16 accumulation).
 	// Group partial sums are rescaled by the vector array after the
-	// subscription phase (WOQ/KVQ dequantization).
-	groups := (k + wq.GroupSize - 1) / wq.GroupSize
+	// subscription phase (WOQ/KVQ dequantization). The loop nest is
+	// (row, group, k, column) so every code row streams contiguously; the
+	// per-(i,j) float operation sequence is exactly Multiply's original
+	// (j, k) walk, keeping results bit-identical.
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			acc := 0.0
-			gAcc := 0.0
-			curG := 0
-			for kk := 0; kk < k; kk++ {
-				if g := kk / wq.GroupSize; g != curG {
-					acc += gAcc * float64(wq.Scales[j*groups+curG])
-					gAcc, curG = 0, g
-				}
-				code := int(wq.Code(kk, j))
-				mag := code
-				if mag < 0 {
-					mag = -mag
-				}
-				// Temporal subscription: at cycle `mag` the accumulator of
-				// a[i,kk] holds mag × a[i,kk]; the SC XOR applies the sign.
-				prod := float64(mag) * float64(a.At(i, kk))
-				if code < 0 {
-					prod = -prod
-				}
-				gAcc += prod
+		arow := a.Row(i)
+		for j := range acc {
+			acc[j] = 0
+		}
+		for g := 0; g < groups; g++ {
+			for j := range gacc {
+				gacc[j] = 0
 			}
-			acc += gAcc * float64(wq.Scales[j*groups+curG])
-			out.Set(i, j, float32(acc))
+			lo, hi := g*gs, (g+1)*gs
+			if hi > k {
+				hi = k
+			}
+			for kk := lo; kk < hi; kk++ {
+				// float64(code) equals the sign-applied magnitude product
+				// bit-for-bit: IEEE negation commutes with multiplication.
+				aik := float64(arow[kk])
+				crow := wq.Codes[kk*stride : kk*stride+n]
+				for j, c := range crow {
+					gacc[j] += float64(c) * aik
+				}
+			}
+			if wq.SharedScales {
+				sg := float64(wq.Scales[g])
+				for j := range gacc {
+					acc[j] += gacc[j] * sg
+				}
+			} else {
+				srow := scaleT[g*n : (g+1)*n]
+				for j := range gacc {
+					acc[j] += gacc[j] * float64(srow[j])
+				}
+			}
+		}
+		orow := out.Row(i)
+		for j := range acc {
+			orow[j] = float32(acc[j])
 		}
 	}
-
-	var stats GEMMStats
-	stats.MACs = m * n * k
-	stats.VecOps = m * n
-	switch cfg.Mapping {
-	case MappingMugi:
-		stats.WindowCycles = WindowCycles(wq.Bits - 1) // magnitude bits
-		stats.TilesN = ceilDiv(n, cfg.Rows)
-		stats.TilesM = ceilDiv(m, cfg.Cols)
-	case MappingCaratBF16:
-		stats.WindowCycles = WindowCycles(7) // BF16 mantissa width
-		stats.TilesM = ceilDiv(m, cfg.Rows)
-		stats.TilesN = ceilDiv(n, cfg.Cols)
-	case MappingCaratFP8:
-		panic("core: MappingCaratFP8 is a cycle model only (use PlanCycles)")
-	default:
-		panic("core: unknown mapping")
-	}
-	stats.Cycles = stats.TilesM * stats.TilesN * k * stats.WindowCycles
-	capacity := stats.TilesM * stats.TilesN * cfg.Rows * cfg.Cols * k
-	stats.Utilization = float64(stats.MACs) / float64(capacity)
-	return out, stats
+	return PlanCycles(cfg, m, k, n, wq.Bits)
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -105,7 +105,10 @@ type layer struct {
 	w1, w2         core.QuantMatrix
 }
 
-// Engine is a deterministic decoder instance with its KV cache.
+// Engine is a deterministic decoder instance with its KV cache. All
+// per-step working memory lives in the engine's scratch buffers, so a
+// warmed Step performs zero steady-state allocations; an Engine must not be
+// shared between concurrent Step calls.
 type Engine struct {
 	cfg    Config
 	embed  *tensor.Matrix
@@ -114,6 +117,30 @@ type Engine struct {
 	cache  *KVCache
 	pos    int
 	array  core.GEMMConfig
+	// ropeInv[i/2] is the RoPE inverse frequency 10000^(-i/headDim) for
+	// dimension pair i, precomputed once so Step never calls math.Pow.
+	ropeInv []float64
+	sc      stepScratch
+}
+
+// stepScratch is the engine's persistent per-step working memory: the
+// residual stream, projection outputs, attention rows, logits, and the
+// GEMM scratch, all sized once at construction.
+type stepScratch struct {
+	x, q, k, v []float32
+	attnOut    []float32
+	proj       []float32
+	hidden     []float32
+	ffn        []float32
+	sRow, pRow []float32
+	cRow       []float32
+	logitsF    []float32
+	scores     []float64
+	probs      []float64
+	logits     []float64
+	aWrap      tensor.Matrix
+	outWrap    tensor.Matrix
+	gemm       core.GEMMScratch
 }
 
 // New builds the decoder with seeded random weights.
@@ -146,7 +173,60 @@ func New(cfg Config) (*Engine, error) {
 		})
 	}
 	e.wout = quant(tensor.RandNormal(rng, cfg.Dim, cfg.Vocab, std))
+	hd := cfg.HeadDim()
+	e.ropeInv = make([]float64, (hd+1)/2)
+	for i := 0; i+1 < hd; i += 2 {
+		e.ropeInv[i/2] = math.Pow(10000, -float64(i)/float64(hd))
+	}
+	e.initScratch()
 	return e, nil
+}
+
+// initScratch sizes the persistent step buffers for the configuration.
+func (e *Engine) initScratch() {
+	cfg := e.cfg
+	kvDim := cfg.KVHeads * cfg.HeadDim()
+	e.sc.x = make([]float32, cfg.Dim)
+	e.sc.q = make([]float32, cfg.Dim)
+	e.sc.k = make([]float32, kvDim)
+	e.sc.v = make([]float32, kvDim)
+	e.sc.attnOut = make([]float32, cfg.Dim)
+	e.sc.proj = make([]float32, cfg.Dim)
+	e.sc.hidden = make([]float32, cfg.FFN)
+	e.sc.ffn = make([]float32, cfg.Dim)
+	e.sc.sRow = make([]float32, cfg.MaxSeq)
+	e.sc.pRow = make([]float32, cfg.MaxSeq)
+	e.sc.cRow = make([]float32, cfg.HeadDim())
+	e.sc.logitsF = make([]float32, cfg.Vocab)
+	e.sc.scores = make([]float64, cfg.MaxSeq)
+	e.sc.probs = make([]float64, cfg.MaxSeq)
+	e.sc.logits = make([]float64, cfg.Vocab)
+	// Pre-reserve the GEMM scratch for the widest output any Step GEMM
+	// produces (projections, FFN, logits, or a full-context score row) and
+	// the largest gathered scale table (weight matrices, or the key cache's
+	// single-group row at full context), so the scratch never grows
+	// mid-decode as the KV context lengthens.
+	maxN := cfg.Dim
+	for _, n := range []int{kvDim, cfg.FFN, cfg.Vocab, cfg.MaxSeq} {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	maxScale := cfg.MaxSeq // Keys: one group × ctxLen columns
+	reserve := func(w core.QuantMatrix) {
+		groups := (w.Rows + w.GroupSize - 1) / w.GroupSize
+		if s := groups * w.Cols; s > maxScale {
+			maxScale = s
+		}
+	}
+	for i := range e.layers {
+		l := &e.layers[i]
+		for _, w := range []core.QuantMatrix{l.wq, l.wk, l.wv, l.wo, l.w1, l.w2} {
+			reserve(w)
+		}
+	}
+	reserve(e.wout)
+	e.sc.gemm.Reserve(maxN, maxScale)
 }
 
 func quant(w *tensor.Matrix) core.QuantMatrix {
@@ -163,32 +243,29 @@ func (e *Engine) Config() Config { return e.cfg }
 // Pos returns the number of cached positions.
 func (e *Engine) Pos() int { return e.pos }
 
-// Reset clears the KV cache.
+// Reset clears the KV cache in place (the preallocated planes are
+// retained, so Reset itself allocates nothing).
 func (e *Engine) Reset() {
-	e.cache = NewKVCache(e.cfg)
+	e.cache.Reset()
 	e.pos = 0
 }
 
-// matmul runs x (1×K) through the quantized weights on the VLP array.
-func (e *Engine) matmul(x []float32, w core.QuantMatrix) []float32 {
-	a := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
-	out, _ := core.Multiply(e.array, a, w)
-	return out.Data
-}
-
-func rmsNorm(x []float32) {
-	ss := 0.0
-	for _, v := range x {
-		ss += float64(v) * float64(v)
-	}
-	rms := math.Sqrt(ss/float64(len(x)) + 1e-8)
-	for i := range x {
-		x[i] = float32(float64(x[i]) / rms)
-	}
+// matmul runs x (1×K) through the quantized weights on the VLP array,
+// writing the 1×N product into dst and returning it sliced to width. The
+// matrix headers and GEMM scratch persist on the engine, so a warmed call
+// allocates nothing.
+func (e *Engine) matmul(dst, x []float32, w core.QuantMatrix) []float32 {
+	e.sc.aWrap = tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
+	e.sc.outWrap = tensor.Matrix{Rows: 1, Cols: w.Cols, Data: dst[:w.Cols]}
+	core.MultiplyInto(e.array, &e.sc.aWrap, w, &e.sc.outWrap, &e.sc.gemm)
+	return dst[:w.Cols]
 }
 
 // applyRoPE rotates consecutive dimension pairs of one head vector by the
 // position-dependent angles, using the provided sin/cos implementations.
+// It recomputes the inverse frequencies with math.Pow per pair; Step uses
+// applyRoPEInv with the engine's precomputed table, which a test pins to
+// identical outputs.
 func applyRoPE(v []float32, pos int, sin, cos func(float64) float64) {
 	hd := len(v)
 	for i := 0; i+1 < hd; i += 2 {
@@ -200,8 +277,23 @@ func applyRoPE(v []float32, pos int, sin, cos func(float64) float64) {
 	}
 }
 
+// applyRoPEInv is applyRoPE with the inverse-frequency table precomputed:
+// inv[i/2] must hold 10000^(-i/len(v)).
+func applyRoPEInv(v []float32, pos int, inv []float64, sin, cos func(float64) float64) {
+	hd := len(v)
+	for i := 0; i+1 < hd; i += 2 {
+		theta := float64(pos) * inv[i/2]
+		s, c := sin(theta), cos(theta)
+		a, b := float64(v[i]), float64(v[i+1])
+		v[i] = float32(a*c - b*s)
+		v[i+1] = float32(a*s + b*c)
+	}
+}
+
 // Step feeds one token through the decoder, appends to the KV cache, and
-// returns the output logits.
+// returns the output logits. The returned slice is the engine's scratch
+// buffer: it stays valid until the next Step call on this engine, so copy
+// it to retain logits across steps. A warmed Step allocates nothing.
 func (e *Engine) Step(token int, ops Ops) ([]float64, error) {
 	if token < 0 || token >= e.cfg.Vocab {
 		return nil, fmt.Errorf("infer: token %d outside vocab %d", token, e.cfg.Vocab)
@@ -213,70 +305,70 @@ func (e *Engine) Step(token int, ops Ops) ([]float64, error) {
 	hd := cfg.HeadDim()
 	g := cfg.Group()
 
-	x := make([]float32, cfg.Dim)
+	x := e.sc.x
 	copy(x, e.embed.Row(token))
 
 	for li := range e.layers {
 		l := &e.layers[li]
-		q := e.matmul(x, l.wq)
-		k := e.matmul(x, l.wk)
-		v := e.matmul(x, l.wv)
+		q := e.matmul(e.sc.q, x, l.wq)
+		k := e.matmul(e.sc.k, x, l.wk)
+		v := e.matmul(e.sc.v, x, l.wv)
 		if cfg.RoPE {
 			for h := 0; h < cfg.Heads; h++ {
-				applyRoPE(q[h*hd:(h+1)*hd], e.pos, ops.Sin, ops.Cos)
+				applyRoPEInv(q[h*hd:(h+1)*hd], e.pos, e.ropeInv, ops.Sin, ops.Cos)
 			}
 			for h := 0; h < cfg.KVHeads; h++ {
-				applyRoPE(k[h*hd:(h+1)*hd], e.pos, ops.Sin, ops.Cos)
+				applyRoPEInv(k[h*hd:(h+1)*hd], e.pos, e.ropeInv, ops.Sin, ops.Cos)
 			}
 		}
 		e.cache.Append(li, k, v)
 
-		attnOut := make([]float32, cfg.Dim)
+		attnOut := e.sc.attnOut
 		ctxLen := e.pos + 1
-		scores := make([]float64, ctxLen)
-		probs := make([]float64, ctxLen)
+		scores := e.sc.scores[:ctxLen]
+		probs := e.sc.probs[:ctxLen]
 		for kvh := 0; kvh < cfg.KVHeads; kvh++ {
-			keys := e.cache.Keys(li, kvh)     // headDim × ctxLen QuantMatrix
-			values := e.cache.Values(li, kvh) // ctxLen × headDim QuantMatrix
+			keys := e.cache.Keys(li, kvh)     // headDim × ctxLen view
+			values := e.cache.Values(li, kvh) // ctxLen × headDim view
 			for qi := 0; qi < g; qi++ {
 				h := kvh*g + qi
 				qHead := q[h*hd : (h+1)*hd]
 				// Scores: q (1×hd) against the KVQ key cache.
-				sRow := e.matmul(qHead, keys)
+				sRow := e.matmul(e.sc.sRow, qHead, keys)
 				scale := 1 / math.Sqrt(float64(hd))
 				for t := 0; t < ctxLen; t++ {
 					scores[t] = float64(sRow[t]) * scale
 				}
 				ops.Softmax(probs, scores)
 				// Context: probabilities against the KVQ value cache.
-				pRow := make([]float32, ctxLen)
+				pRow := e.sc.pRow[:ctxLen]
 				for t := range probs {
 					pRow[t] = float32(probs[t])
 				}
-				cRow := e.matmul(pRow, values)
+				cRow := e.matmul(e.sc.cRow, pRow, values)
 				copy(attnOut[h*hd:(h+1)*hd], cRow)
 			}
 		}
-		proj := e.matmul(attnOut, l.wo)
+		proj := e.matmul(e.sc.proj, attnOut, l.wo)
 		for i := range x {
 			x[i] += proj[i]
 		}
-		rmsNorm(x)
+		tensor.RMSNormRow(x)
 
-		hidden := e.matmul(x, l.w1)
+		hidden := e.matmul(e.sc.hidden, x, l.w1)
 		for i := range hidden {
 			hidden[i] = float32(ops.Act(float64(hidden[i])))
 		}
-		ffn := e.matmul(hidden, l.w2)
+		ffn := e.matmul(e.sc.ffn, hidden, l.w2)
 		for i := range x {
 			x[i] += ffn[i]
 		}
-		rmsNorm(x)
+		tensor.RMSNormRow(x)
 	}
 	e.pos++
 
-	logitsF := e.matmul(x, e.wout)
-	logits := make([]float64, len(logitsF))
+	logitsF := e.matmul(e.sc.logitsF, x, e.wout)
+	logits := e.sc.logits
 	for i, v := range logitsF {
 		logits[i] = float64(v)
 	}

@@ -11,18 +11,29 @@ import (
 // every appended key/value head-vector is quantized symmetrically with one
 // scale per token per head, and attention GEMMs read the codes directly —
 // the Mugi mapping places them on the array rows.
+//
+// Storage is preallocated for MaxSeq tokens in exactly the layouts the two
+// attention GEMMs consume, so Append writes in place and Keys/Values return
+// zero-copy QuantMatrix views: keys are kept dimension-major (headDim rows
+// of MaxSeq-strided codes, the K^T operand of the score GEMM) and values
+// token-major (the row-major operand of the context GEMM).
 type KVCache struct {
 	cfg Config
-	// keys[layer][kvHead] collects per-token INT4 codes (headDim each).
+	// keyCodes[layer][kvHead] is a headDim × MaxSeq dimension-major plane;
+	// token t of dimension d lives at [d*MaxSeq+t].
 	keyCodes [][][]int8
 	keyScale [][][]float32
+	// valCodes[layer][kvHead] is a MaxSeq × headDim token-major plane;
+	// token t of dimension d lives at [t*headDim+d].
 	valCodes [][][]int8
 	valScale [][][]float32
 	tokens   int
 }
 
-// NewKVCache allocates an empty cache for the configuration.
+// NewKVCache allocates an empty cache for the configuration, sized for
+// cfg.MaxSeq tokens so steady-state appends never allocate.
 func NewKVCache(cfg Config) *KVCache {
+	hd := cfg.HeadDim()
 	c := &KVCache{cfg: cfg}
 	c.keyCodes = make([][][]int8, cfg.Layers)
 	c.keyScale = make([][][]float32, cfg.Layers)
@@ -33,12 +44,32 @@ func NewKVCache(cfg Config) *KVCache {
 		c.keyScale[l] = make([][]float32, cfg.KVHeads)
 		c.valCodes[l] = make([][]int8, cfg.KVHeads)
 		c.valScale[l] = make([][]float32, cfg.KVHeads)
+		for h := 0; h < cfg.KVHeads; h++ {
+			c.keyCodes[l][h] = make([]int8, hd*cfg.MaxSeq)
+			c.keyScale[l][h] = make([]float32, 0, cfg.MaxSeq)
+			c.valCodes[l][h] = make([]int8, cfg.MaxSeq*hd)
+			c.valScale[l][h] = make([]float32, 0, cfg.MaxSeq)
+		}
 	}
 	return c
 }
 
 // Tokens reports the cached context length.
 func (c *KVCache) Tokens() int { return c.tokens }
+
+// Reset truncates the cache to zero tokens in place, retaining the
+// preallocated code planes: Keys/Values views are sized by the scale-slice
+// lengths, and codes are rewritten by Append before they can be read, so
+// wrap-around resets cost no allocation.
+func (c *KVCache) Reset() {
+	for l := range c.keyScale {
+		for h := range c.keyScale[l] {
+			c.keyScale[l][h] = c.keyScale[l][h][:0]
+			c.valScale[l][h] = c.valScale[l][h][:0]
+		}
+	}
+	c.tokens = 0
+}
 
 // Bytes reports the approximate cache footprint: 4 bits per code plus one
 // float16-equivalent scale per token per head.
@@ -47,8 +78,10 @@ func (c *KVCache) Bytes() int64 {
 	return perToken * int64(c.tokens) * int64(c.cfg.Layers)
 }
 
-// quantizeHead encodes one head vector to INT4 with a single scale.
-func quantizeHead(v []float32) ([]int8, float32) {
+// quantizeHeadStrided encodes one head vector to INT4 with a single scale,
+// writing code i to dst[i*stride]. The rounding is round-half-away-from-
+// zero, the same rule at every call site since the seed.
+func quantizeHeadStrided(dst []int8, stride int, v []float32) float32 {
 	maxAbs := float32(0)
 	for _, x := range v {
 		a := x
@@ -63,7 +96,6 @@ func quantizeHead(v []float32) ([]int8, float32) {
 	if scale == 0 {
 		scale = 1
 	}
-	codes := make([]int8, len(v))
 	for i, x := range v {
 		q := int(float64(x)/float64(scale) + 0.5)
 		if x < 0 {
@@ -75,14 +107,15 @@ func quantizeHead(v []float32) ([]int8, float32) {
 		if q < -7 {
 			q = -7
 		}
-		codes[i] = int8(q)
+		dst[i*stride] = int8(q)
 	}
-	return codes, scale
+	return scale
 }
 
 // Append quantizes and stores one token's key/value projections for a
 // layer (k and v are the full kvDim-wide vectors). The first layer append
-// of a step advances the token count.
+// of a step advances the token count. Appends beyond MaxSeq panic; Engine
+// guards the limit with an error before calling.
 func (c *KVCache) Append(layer int, k, v []float32) {
 	if layer < 0 || layer >= c.cfg.Layers {
 		panic(fmt.Sprintf("infer: layer %d out of range", layer))
@@ -92,11 +125,13 @@ func (c *KVCache) Append(layer int, k, v []float32) {
 		panic("infer: KV append width mismatch")
 	}
 	for h := 0; h < c.cfg.KVHeads; h++ {
-		kc, ks := quantizeHead(k[h*hd : (h+1)*hd])
-		vc, vs := quantizeHead(v[h*hd : (h+1)*hd])
-		c.keyCodes[layer][h] = append(c.keyCodes[layer][h], kc...)
+		t := len(c.keyScale[layer][h])
+		if t >= c.cfg.MaxSeq {
+			panic(fmt.Sprintf("infer: KV cache full (%d positions)", c.cfg.MaxSeq))
+		}
+		ks := quantizeHeadStrided(c.keyCodes[layer][h][t:], c.cfg.MaxSeq, k[h*hd:(h+1)*hd])
+		vs := quantizeHeadStrided(c.valCodes[layer][h][t*hd:], 1, v[h*hd:(h+1)*hd])
 		c.keyScale[layer][h] = append(c.keyScale[layer][h], ks)
-		c.valCodes[layer][h] = append(c.valCodes[layer][h], vc...)
 		c.valScale[layer][h] = append(c.valScale[layer][h], vs)
 	}
 	if layer == 0 {
@@ -107,43 +142,33 @@ func (c *KVCache) Append(layer int, k, v []float32) {
 // Keys returns the key cache of one head as a headDim × tokens
 // QuantMatrix (K^T layout): reduction over headDim, one column — and one
 // scale — per cached token. This is exactly the operand the scores GEMM
-// consumes.
+// consumes; the view aliases the cache storage (stride MaxSeq) and
+// allocates nothing.
 func (c *KVCache) Keys(layer, head int) core.QuantMatrix {
 	hd := c.cfg.HeadDim()
 	tokens := len(c.keyScale[layer][head])
-	q := core.QuantMatrix{
+	return core.QuantMatrix{
 		Rows: hd, Cols: tokens, Bits: 4, GroupSize: hd,
-		Codes:  make([]int8, hd*tokens),
-		Scales: make([]float32, tokens),
+		Stride: c.cfg.MaxSeq,
+		Codes:  c.keyCodes[layer][head],
+		Scales: c.keyScale[layer][head][:tokens],
 	}
-	copy(q.Scales, c.keyScale[layer][head])
-	for t := 0; t < tokens; t++ {
-		for d := 0; d < hd; d++ {
-			// stored token-major; QuantMatrix is row(=d)-major.
-			q.Codes[d*tokens+t] = c.keyCodes[layer][head][t*hd+d]
-		}
-	}
-	return q
 }
 
 // Values returns the value cache of one head as a tokens × headDim
 // QuantMatrix: reduction over tokens with per-token scales (GroupSize 1
-// along the reduction axis), the operand of the context GEMM.
+// along the reduction axis, one scale shared by every column), the operand
+// of the context GEMM. The view aliases the cache storage and allocates
+// nothing.
 func (c *KVCache) Values(layer, head int) core.QuantMatrix {
 	hd := c.cfg.HeadDim()
 	tokens := len(c.valScale[layer][head])
-	q := core.QuantMatrix{
+	return core.QuantMatrix{
 		Rows: tokens, Cols: hd, Bits: 4, GroupSize: 1,
-		Codes:  make([]int8, tokens*hd),
-		Scales: make([]float32, hd*tokens),
+		SharedScales: true,
+		Codes:        c.valCodes[layer][head][:tokens*hd],
+		Scales:       c.valScale[layer][head][:tokens],
 	}
-	copy(q.Codes, c.valCodes[layer][head])
-	for n := 0; n < hd; n++ {
-		for t := 0; t < tokens; t++ {
-			q.Scales[n*tokens+t] = c.valScale[layer][head][t]
-		}
-	}
-	return q
 }
 
 // DequantKeys reconstructs the float key matrix (tokens × headDim) for
@@ -155,7 +180,7 @@ func (c *KVCache) DequantKeys(layer, head int) *tensor.Matrix {
 	for t := 0; t < tokens; t++ {
 		s := c.keyScale[layer][head][t]
 		for d := 0; d < hd; d++ {
-			m.Set(t, d, float32(c.keyCodes[layer][head][t*hd+d])*s)
+			m.Set(t, d, float32(c.keyCodes[layer][head][d*c.cfg.MaxSeq+t])*s)
 		}
 	}
 	return m

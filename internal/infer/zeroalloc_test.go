@@ -1,0 +1,166 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mugi/internal/nonlinear"
+)
+
+// TestGenerateGoldenSeed pins the greedy decode of the seed
+// implementation: the zero-allocation refactor (blocked GEMM, zero-copy
+// KV views, precomputed RoPE table, scratch softmax) must reproduce the
+// exact token stream and logits of the pre-refactor engine, captured
+// before any hot-path change landed.
+func TestGenerateGoldenSeed(t *testing.T) {
+	cases := []struct {
+		name     string
+		ops      func(nonlinear.Op) Ops
+		tokens   []int
+		checksum float64
+	}{
+		{"exact", ExactOps, []int{2, 23, 25, 31, 8, 13, 23, 25, 31, 8, 13, 36}, -1176.7192811230198},
+		{"vlp", VLPOps, []int{2, 23, 25, 31, 8, 13, 23, 25, 31, 8, 13, 36}, -1006.1344034630456},
+	}
+	prompt := []int{5, 17, 42}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(testConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := tc.ops(testConfig().Activation)
+			got, err := e.Generate(prompt, 12, ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.tokens {
+				if got[i] != tc.tokens[i] {
+					t.Fatalf("token %d: got %v want %v", i, got, tc.tokens)
+				}
+			}
+			// Position-weighted logit checksum over the same step sequence,
+			// sensitive to any single-bit logit change.
+			e2, _ := New(testConfig())
+			sum := 0.0
+			for _, tok := range append(append([]int{}, prompt...), got...) {
+				logits, err := e2.Step(tok, ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range logits {
+					sum += v * float64(i+1)
+				}
+			}
+			if sum != tc.checksum {
+				t.Fatalf("logit checksum %.17g, want %.17g", sum, tc.checksum)
+			}
+		})
+	}
+}
+
+// TestStepZeroAlloc asserts the tentpole property: a warmed Step performs
+// zero steady-state allocations under both the exact and the full VLP
+// stacks. Allocations are sampled exactly (runs=1, no averaging that
+// could truncate sub-1/op rates to zero) at shallow, mid, and deep KV
+// contexts — an earlier bug allocated only once the context outgrew the
+// scale-gather reservation, which an averaged shallow sample missed.
+func TestStepZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ops  func(nonlinear.Op) Ops
+	}{{"exact", ExactOps}, {"vlp", VLPOps}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.MaxSeq = 1024
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := tc.ops(cfg.Activation)
+			tok := 0
+			step := func() {
+				if _, err := e.Step(tok%cfg.Vocab, ops); err != nil {
+					t.Fatal(err)
+				}
+				tok++
+			}
+			for i := 0; i < 4; i++ { // warm scratch and KV planes
+				step()
+			}
+			for _, depth := range []int{8, 300, 900} {
+				for e.Pos() < depth {
+					step()
+				}
+				for sample := 0; sample < 8; sample++ {
+					if allocs := testing.AllocsPerRun(1, step); allocs != 0 {
+						t.Fatalf("step at ctx %d allocated %v times", e.Pos(), allocs)
+					}
+				}
+			}
+			// In-place reset must not allocate either.
+			if allocs := testing.AllocsPerRun(1, e.Reset); allocs != 0 {
+				t.Fatalf("Reset allocated %v times", allocs)
+			}
+		})
+	}
+}
+
+// TestApplyRoPEInvMatchesPow pins the precomputed inverse-frequency path
+// to the seed's per-pair math.Pow formulation, bit for bit.
+func TestApplyRoPEInvMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, hd := range []int{2, 4, 8, 16, 30} {
+		inv := make([]float64, (hd+1)/2)
+		for i := 0; i+1 < hd; i += 2 {
+			inv[i/2] = math.Pow(10000, -float64(i)/float64(hd))
+		}
+		for pos := 0; pos < 40; pos += 7 {
+			a := make([]float32, hd)
+			for i := range a {
+				a[i] = float32(rng.NormFloat64())
+			}
+			b := append([]float32(nil), a...)
+			applyRoPE(a, pos, math.Sin, math.Cos)
+			applyRoPEInv(b, pos, inv, math.Sin, math.Cos)
+			for i := range a {
+				if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+					t.Fatalf("hd=%d pos=%d dim %d: %v != %v", hd, pos, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStepLogitsAreScratch documents the buffer-reuse contract: the slice
+// returned by Step is overwritten by the next Step on the same engine.
+func TestStepLogitsAreScratch(t *testing.T) {
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := ExactOps(testConfig().Activation)
+	l1, err := e.Step(3, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]float64(nil), l1...)
+	l2, err := e.Step(7, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &l1[0] != &l2[0] {
+		t.Fatal("Step should reuse its logits scratch buffer")
+	}
+	changed := false
+	for i := range saved {
+		if saved[i] != l2[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("second step left logits unchanged — scratch not rewritten?")
+	}
+}

@@ -183,3 +183,16 @@ func TestNonlinearElementsPerLayer(t *testing.T) {
 		t.Errorf("nonlinear elements %d, want %d", got, want)
 	}
 }
+
+func TestOpClassesEnumeratesAll(t *testing.T) {
+	classes := OpClasses()
+	want := []OpClass{Projection, Attention, FFN, Nonlinear}
+	if len(classes) != len(want) {
+		t.Fatalf("got %d classes, want %d", len(classes), len(want))
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("position %d: %v, want %v (fixed order is the determinism contract)", i, classes[i], want[i])
+		}
+	}
+}

@@ -22,6 +22,14 @@ const (
 	Nonlinear
 )
 
+// OpClasses lists every operator class in declaration order — the fixed
+// iteration order for per-class accumulations, so float sums over class
+// maps are bit-stable across runs instead of following Go's randomized map
+// order.
+func OpClasses() []OpClass {
+	return []OpClass{Projection, Attention, FFN, Nonlinear}
+}
+
 // String names the class as in the paper's legends.
 func (c OpClass) String() string {
 	switch c {

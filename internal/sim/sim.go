@@ -206,8 +206,11 @@ func Simulate(p Params, w model.Workload) Result {
 			float64(op.M*op.N)*rep*layers*p.Cost.EnergyVecOp // dequant rescale
 		res.EnergyByClass[op.Class] += energy
 	}
-	for _, c := range res.CyclesByClass {
-		res.TotalCycles += c
+	// Sum in fixed OpClass order: ranging over the map would add the
+	// per-class floats in randomized order and make TotalCycles (and
+	// DynamicEnergy below) differ in the last bits between runs.
+	for _, c := range model.OpClasses() {
+		res.TotalCycles += res.CyclesByClass[c]
 	}
 	if capacityMACs > 0 {
 		res.Utilization = usefulMACs / capacityMACs
@@ -233,8 +236,8 @@ func Simulate(p Params, w model.Workload) Result {
 		}
 	}
 
-	for _, e := range res.EnergyByClass {
-		res.DynamicEnergy += e
+	for _, c := range model.OpClasses() {
+		res.DynamicEnergy += res.EnergyByClass[c]
 	}
 	res.DynamicEnergy += res.DRAMEnergy
 	res.DynamicEnergy += p.Mesh.TransferEnergy(res.DRAMBytes)

@@ -287,3 +287,46 @@ func TestNoCBandwidthFailSafe(t *testing.T) {
 		t.Error("starved NoC must lower throughput")
 	}
 }
+
+// TestClassSumsFixedOrder pins the deterministic-summation fix: the
+// aggregate cycle and energy totals must equal the per-class sums taken in
+// fixed model.OpClasses order (ranging over the maps would add the floats
+// in Go's randomized map order and wobble the last bits between runs).
+func TestClassSumsFixedOrder(t *testing.T) {
+	p := Params{Design: arch.Mugi(256), Mesh: noc.NewMesh(2, 2)}.WithDefaults()
+	res := Simulate(p, decode70B())
+	cycles := 0.0
+	for _, c := range model.OpClasses() {
+		cycles += res.CyclesByClass[c]
+	}
+	if res.TotalCycles != cycles {
+		t.Errorf("TotalCycles %v != ordered class sum %v", res.TotalCycles, cycles)
+	}
+	energy := 0.0
+	for _, c := range model.OpClasses() {
+		energy += res.EnergyByClass[c]
+	}
+	energy += res.DRAMEnergy
+	energy += p.Mesh.TransferEnergy(res.DRAMBytes)
+	if res.DynamicEnergy != energy {
+		t.Errorf("DynamicEnergy %v != ordered sum %v", res.DynamicEnergy, energy)
+	}
+	// Every class map key must be covered by the fixed enumeration.
+	covered := map[model.OpClass]bool{}
+	for _, c := range model.OpClasses() {
+		covered[c] = true
+	}
+	for c := range res.CyclesByClass {
+		if !covered[c] {
+			t.Errorf("class %v missing from model.OpClasses()", c)
+		}
+	}
+	// Bit-stability across repeated runs of the same inputs.
+	for i := 0; i < 5; i++ {
+		again := Simulate(p, decode70B())
+		if math.Float64bits(again.TotalCycles) != math.Float64bits(res.TotalCycles) ||
+			math.Float64bits(again.DynamicEnergy) != math.Float64bits(res.DynamicEnergy) {
+			t.Fatalf("run %d: nondeterministic totals", i)
+		}
+	}
+}

@@ -69,10 +69,20 @@ func (m *Matrix) T() *Matrix {
 // MatMul computes a×b with float64 accumulation, the exact reference for
 // the VLP GEMM engines. Panics on shape mismatch.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MatMulInto computes a×b into dst (which must be a.Rows × b.Cols) and
+// returns dst. The accumulation order is identical to MatMul, so results
+// are bit-equal; dst is fully overwritten. It is the allocation-free path
+// the accuracy proxy reuses across forward passes.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		for j := 0; j < b.Cols; j++ {
@@ -80,10 +90,25 @@ func MatMul(a, b *Matrix) *Matrix {
 			for k := 0; k < a.Cols; k++ {
 				acc += float64(arow[k]) * float64(b.At(k, j))
 			}
-			out.Set(i, j, float32(acc))
+			dst.Set(i, j, float32(acc))
 		}
 	}
-	return out
+	return dst
+}
+
+// RMSNormRow rescales x in place to unit RMS with the stack's shared
+// epsilon. It is the single RMSNorm implementation behind both the
+// functional decoder and the accuracy proxy (the paper's §7.1 notes
+// normalization runs on the vector unit and is not approximated).
+func RMSNormRow(x []float32) {
+	ss := 0.0
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	rms := math.Sqrt(ss/float64(len(x)) + 1e-8)
+	for i := range x {
+		x[i] = float32(float64(x[i]) / rms)
+	}
 }
 
 // MatVec computes a×x for a vector x.

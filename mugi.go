@@ -126,6 +126,17 @@ func Multiply(cfg GEMMConfig, a *Matrix, wq QuantMatrix) (*Matrix, GEMMStats) {
 	return core.Multiply(cfg, a, wq)
 }
 
+// GEMMScratch holds the reusable accumulators of MultiplyInto; a warmed
+// scratch makes repeated GEMMs allocation-free.
+type GEMMScratch = core.GEMMScratch
+
+// MultiplyInto is the scratch-reusing form of Multiply: it writes the
+// product into out (A.Rows × Wq.Cols) and returns the cycle statistics.
+// Results are bit-identical to Multiply.
+func MultiplyInto(cfg GEMMConfig, a *Matrix, wq QuantMatrix, out *Matrix, s *GEMMScratch) GEMMStats {
+	return core.MultiplyInto(cfg, a, wq, out, s)
+}
+
 // ---- Hardware designs and simulation ----
 
 // Design is one hardware configuration.
