@@ -25,11 +25,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # Regenerate the hot-path perf trajectory (ns/op + allocs/op for the VLP
-# GEMM, decode step, proxy loss, simulator pass, and serving run). Fails
-# if any zero-allocation path allocates. CI runs the same emitter with
-# -benchiters 1 as a smoke check.
+# GEMM, decode step, proxy loss, simulator pass, cold/warm serving runs,
+# the million-request streaming trace, and the capacity search). Fails if
+# any zero-allocation path allocates or a bounded-allocation serving path
+# exceeds its budget. CI runs the same emitter with -benchiters 1 as a
+# smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR3.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR4.json
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -335,3 +335,84 @@ func BenchmarkServeSingleNode(b *testing.B) { benchServe(b, SingleNode, 0.05) }
 // BenchmarkServeMesh4x4 serves the 4x4 scale-out at a 10x higher arrival
 // rate.
 func BenchmarkServeMesh4x4(b *testing.B) { benchServe(b, NewMesh(4, 4), 0.5) }
+
+// BenchmarkServePoissonWarm is the steady-state serving cost: the same
+// scenario as BenchmarkServeSingleNode but with the sim cache, workload
+// memo, and pooled scheduler warm — the per-sweep-cell cost inside a
+// rate x mesh x design or capacity sweep, where step shapes repeat.
+func BenchmarkServePoissonWarm(b *testing.B) {
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
+	tr, err := NewTrace(TraceConfig{Kind: TracePoisson, Rate: 0.05, Requests: 48, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ServeConfig{Model: Llama2_7B, Design: NewMugi(256), Mesh: SingleNode}
+	if _, err := Serve(cfg, tr); err != nil { // warm caches and pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Serve(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeMillionRequests drives a one-million-request Poisson
+// trace through the scheduler via the lazy stream: the trace is never
+// materialized, latency percentiles aggregate into fixed-size histograms,
+// and step shapes are quantized so the sim cache stays bounded — the
+// sweep-scale configuration of this PR. Reported metrics are simulated
+// sustained req/s and the wall-clock per full run.
+func BenchmarkServeMillionRequests(b *testing.B) {
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
+	cfg := ServeConfig{Model: Llama2_7B, Design: NewMugi(256), Mesh: NewMesh(4, 4)}
+	var rep ServeReport
+	for i := 0; i < b.N; i++ {
+		src, err := NewTraceStream(TraceConfig{
+			Kind: TracePoisson, Rate: 0.5, Requests: 1_000_000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep, err = ServeStream(cfg, src); err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != 1_000_000 {
+			b.Fatalf("completed %d of 1M requests", rep.Completed)
+		}
+	}
+	b.ReportMetric(rep.SustainedRate, "req/s")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/run")
+}
+
+// BenchmarkCapacitySearch measures one full capacity search (bracketing +
+// bisection) of a single-node cell, the unit of work of every
+// capacity-sweep cell.
+func BenchmarkCapacitySearch(b *testing.B) {
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
+	cfg := ServeConfig{Model: Llama2_7B, Design: NewMugi(256), Mesh: SingleNode}
+	// Probe length matters: very short probes realize noisy offered rates
+	// and pay a large drain-tail penalty, pushing the goodput ratio under
+	// threshold even far below capacity. The default probe length keeps
+	// the ratio discriminative.
+	spec := CapacitySpec{
+		Trace: TraceConfig{Kind: TracePoisson, Requests: 48, Seed: 1},
+		Iters: 4,
+	}
+	var res CapacityResult
+	for i := 0; i < b.N; i++ {
+		ResetSimCache()
+		var err error
+		if res, err = FindCapacity(cfg, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Capacity, "req/s-capacity")
+	b.ReportMetric(float64(res.Probes), "probes")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/run")
+}

@@ -8,6 +8,7 @@
 //	mugisim -design mugi -rows 256 -model "Llama 2 70B (GQA)" -batch 8 -seq 4096
 //	mugisim -design sa -rows 16 -mesh 4x4 -model "Llama 2 7B"
 //	mugisim -serve -mesh 4x4 -rate 0.5 -requests 48 -trace bursty
+//	mugisim -capacity -designs mugi,saf -meshes 1x1,2x2,4x4 -parallel 8
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
 package main
 
@@ -21,6 +22,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/runner"
 	"mugi/internal/sim"
 )
 
@@ -42,10 +44,18 @@ func main() {
 	lengths := flag.String("lengths", "chat", "request length profile for -serve: chat|rag")
 	maxBatch := flag.Int("maxbatch", 0, "decode batch cap for -serve (0 = default)")
 	kvBudgetGB := flag.Float64("kvbudget", 0, "KV-cache budget in GiB for -serve (0 = default 8)")
+	capacityMode := flag.Bool("capacity", false, "binary-search the max sustained req/s per (design, mesh) cell")
+	designsCSV := flag.String("designs", "mugi,saf", "comma-separated designs for -capacity")
+	meshesCSV := flag.String("meshes", "1x1,2x2,4x4", "comma-separated meshes for -capacity")
 	flag.Parse()
 
 	if *all {
 		runAll(*parallel)
+		return
+	}
+	if *capacityMode {
+		runCapacity(*designsCSV, *meshesCSV, *rows, *modelName, *traceKind,
+			*lengths, *requests, *traceSeed, *maxBatch, *kvBudgetGB, *parallel)
 		return
 	}
 	d, err := buildDesign(*design, *rows)
@@ -121,6 +131,66 @@ func runServe(d arch.Design, m model.Config, mesh noc.Mesh,
 	fmt.Print(rep.String())
 }
 
+// runCapacity binary-searches the max sustained request rate of every
+// (design, mesh) cell of the grid, sharding cells across the runner pool,
+// and prints the sizing table. Cells are searched with the default
+// bracketing (serve.DefaultMinRate..DefaultMaxRate) and goodput.
+func runCapacity(designsCSV, meshesCSV string, rows int, modelName, traceKind, lengths string,
+	requests int, seed int64, maxBatch int, kvBudgetGB float64, parallel int) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	var cells []mugi.CapacityCell
+	for _, ds := range strings.Split(designsCSV, ",") {
+		d, err := buildDesign(strings.TrimSpace(ds), rows)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ms := range strings.Split(meshesCSV, ",") {
+			mesh, err := parseMesh(strings.TrimSpace(ms))
+			if err != nil {
+				fatal(err)
+			}
+			cells = append(cells, mugi.CapacityCell{Design: d, Mesh: mesh})
+		}
+	}
+	if parallel != 0 {
+		runner.SetParallelism(parallel)
+	}
+	results := mugi.SearchCapacity(mugi.ServeConfig{
+		Model: m, MaxBatch: maxBatch, KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+	}, cells, mugi.CapacitySpec{
+		Trace: mugi.TraceConfig{Kind: kind, Requests: requests, Seed: seed, Lengths: profile},
+	})
+	fmt.Printf("capacity search: %s, %s %s traffic, %d requests/probe, seed %d\n",
+		m.Name, traceKind, profile.Name, requests, seed)
+	fmt.Printf("%-12s %6s %10s %7s %10s %9s %9s\n",
+		"design", "mesh", "capacity", "probes", "tok/s out", "TTFT p99", "p99 lat")
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("%-12s %6s ERROR %v\n", res.Design, res.Mesh, res.Err)
+			continue
+		}
+		if res.Capacity == 0 {
+			fmt.Printf("%-12s %6s  unsustainable at floor rate\n", res.Design, res.Mesh)
+			continue
+		}
+		at := res.AtCapacity
+		fmt.Printf("%-12s %6s %10.4f %7d %10.2f %8.1fs %8.1fs\n",
+			res.Design, res.Mesh, res.Capacity, res.Probes,
+			at.TokensPerSecond, at.TTFT.P99, at.Latency.P99)
+	}
+}
+
 // runAll regenerates the full registry on the bounded worker pool and
 // prints each artifact in paper order, followed by the cache accounting.
 func runAll(parallel int) {
@@ -128,9 +198,9 @@ func runAll(parallel int) {
 	for _, res := range results {
 		fmt.Println(res.Text)
 	}
-	hits, misses := mugi.SimCacheStats()
-	fmt.Fprintf(os.Stderr, "mugisim: %d artifacts, sim cache %d hits / %d misses\n",
-		len(results), hits, misses)
+	st := mugi.SimCacheStats()
+	fmt.Fprintf(os.Stderr, "mugisim: %d artifacts, sim cache %d hits / %d misses / %d evictions\n",
+		len(results), st.Hits, st.Misses, st.Evictions)
 }
 
 func buildDesign(kind string, rows int) (arch.Design, error) {

@@ -68,6 +68,7 @@ func Registry() []Entry {
 		{"moe", "Extension: mixture-of-experts workloads (paper §7.2)", MoE},
 		{"online", "Extension: online window adaptation (paper §7.1)", Online},
 		{"serve", "Extension: request-level serving under traffic", Serving},
+		{"capacity", "Extension: capacity search (max sustained req/s)", Capacity},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
-		"moe", "online", "serve"}
+		"moe", "online", "serve", "capacity"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -135,5 +135,22 @@ func TestServingContent(t *testing.T) {
 	}
 	if strings.Contains(out, "ERROR") {
 		t.Errorf("serving report contains an error row:\n%s", out)
+	}
+}
+
+// TestCapacityContent: the capacity-search sweep must render every cell
+// with a found capacity (no error or unsustainable rows on the studied
+// grid).
+func TestCapacityContent(t *testing.T) {
+	out := Capacity().String()
+	for _, needle := range []string{"Mugi (256)", "SA-F (16)", "4x4", "capacity", "probes", "TTFT p99"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("capacity report missing %q", needle)
+		}
+	}
+	for _, bad := range []string{"ERROR", "unsustainable"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("capacity report contains %q:\n%s", bad, out)
+		}
 	}
 }

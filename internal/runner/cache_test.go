@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"mugi/internal/arch"
+	"mugi/internal/model"
+	"mugi/internal/sim"
+)
+
+// distinctPoint builds the i-th member of a family of distinct cache
+// tuples (the batch size varies, everything else fixed).
+func distinctPoint(i int) (sim.Params, model.Workload) {
+	return sim.Params{Design: arch.Mugi(128)}, model.Llama2_7B.DecodeOps(i+1, 64)
+}
+
+// TestCacheBoundedTwoGenerations: filling the cache past its capacity
+// must rotate generations, evict the displaced one, and keep resident
+// entries under ~2x capacity — while recent entries stay hits.
+func TestCacheBoundedTwoGenerations(t *testing.T) {
+	e := New(1)
+	e.SetCacheCapacity(4)
+	const points = 12
+	for i := 0; i < points; i++ {
+		p, w := distinctPoint(i)
+		e.Simulate(p, w)
+	}
+	st := e.CacheStats()
+	if st.Misses != points || st.Hits != 0 {
+		t.Fatalf("stats %+v, want %d distinct misses", st, points)
+	}
+	if st.Evictions == 0 {
+		t.Error("capacity 4 with 12 distinct points must evict")
+	}
+	if size := e.CacheSize(); size > 8 {
+		t.Errorf("cache holds %d entries, capacity 4 bounds it to 8", size)
+	}
+	// The most recent point is still resident.
+	p, w := distinctPoint(points - 1)
+	e.Simulate(p, w)
+	if st := e.CacheStats(); st.Hits != 1 {
+		t.Errorf("recent point missed the bounded cache: %+v", st)
+	}
+	// The earliest point was rotated out and recomputes.
+	p, w = distinctPoint(0)
+	e.Simulate(p, w)
+	if st := e.CacheStats(); st.Misses != points+1 {
+		t.Errorf("evicted point should recompute: %+v", st)
+	}
+}
+
+// TestCacheOldGenerationPromotion: a hit in the old generation must both
+// count as a hit and survive the next rotation (it was promoted back into
+// young).
+func TestCacheOldGenerationPromotion(t *testing.T) {
+	e := New(1)
+	e.SetCacheCapacity(2)
+	p0, w0 := distinctPoint(0)
+	e.Simulate(p0, w0)
+	p1, w1 := distinctPoint(1)
+	e.Simulate(p1, w1) // young reaches capacity 2 and rotates into old
+
+	// Hit point 0 out of the old generation: promoted to young.
+	e.Simulate(p0, w0)
+	if st := e.CacheStats(); st.Hits != 1 {
+		t.Fatalf("old-generation lookup not a hit: %+v", st)
+	}
+	// Fill young to force another rotation; the promoted entry rides it.
+	p2, w2 := distinctPoint(2)
+	e.Simulate(p2, w2)
+	e.Simulate(p0, w0)
+	if st := e.CacheStats(); st.Hits != 2 {
+		t.Errorf("promoted entry did not survive rotation: %+v", st)
+	}
+}
+
+// TestCacheEvictionConsistency: results served before and after eviction
+// must be identical (eviction only costs recomputation, never changes a
+// value).
+func TestCacheEvictionConsistency(t *testing.T) {
+	e := New(1)
+	e.SetCacheCapacity(2)
+	p, w := distinctPoint(0)
+	before := e.Simulate(p, w)
+	for i := 1; i < 8; i++ {
+		pi, wi := distinctPoint(i)
+		e.Simulate(pi, wi)
+	}
+	after := e.Simulate(p, w)
+	if before.TotalCycles != after.TotalCycles || before.Seconds != after.Seconds {
+		t.Error("recomputed result differs from evicted result")
+	}
+}
+
+// TestSetCacheCapacityDefault: non-positive capacities restore the
+// default bound.
+func TestSetCacheCapacityDefault(t *testing.T) {
+	e := New(1)
+	e.SetCacheCapacity(-1)
+	e.mu.Lock()
+	cap := e.capacity
+	e.mu.Unlock()
+	if cap != DefaultCacheCapacity {
+		t.Errorf("capacity %d, want default %d", cap, DefaultCacheCapacity)
+	}
+}
+
+// TestKeyEncoderCoversEveryField pins the hand-written workload key
+// encoder (key.go) to the exact field sets it serializes. If a field is
+// added to model.Workload, model.Op, or model.Config, this test fails
+// until appendWorkloadKey covers it — the guard against two distinct
+// inputs silently aliasing one cache entry. (sim.Params needs no guard:
+// its half of the key renders via fmt %+v, which covers nested fields
+// automatically.)
+func TestKeyEncoderCoversEveryField(t *testing.T) {
+	check := func(v any, want []string) {
+		t.Helper()
+		rt := reflect.TypeOf(v)
+		if rt.NumField() != len(want) {
+			t.Fatalf("%s has %d fields, encoder covers %d — extend appendWorkloadKey",
+				rt.Name(), rt.NumField(), len(want))
+		}
+		for i, name := range want {
+			if got := rt.Field(i).Name; got != name {
+				t.Errorf("%s field %d = %s, encoder expects %s", rt.Name(), i, got, name)
+			}
+		}
+	}
+	check(model.Workload{}, []string{"Model", "Batch", "CtxLen", "Decode", "Ops", "WeightStreamBytes"})
+	check(model.Op{}, []string{"Class", "Name", "M", "K", "N", "WeightBits", "Repeat", "Elements", "NL", "GQAPacked"})
+	check(model.Config{}, []string{"Name", "Family", "Layers", "AttnHeads", "KVHeads", "Hidden", "FFN", "MaxSeq", "Activation", "GatedFFN"})
+}
+
+// TestKeyEncodingUnambiguous: string fields are length-prefixed, so
+// shifting characters between adjacent strings (or between a name and a
+// numeric run) must produce different keys.
+func TestKeyEncodingUnambiguous(t *testing.T) {
+	base := model.Llama2_7B.DecodeOps(1, 64)
+	variants := []func(*model.Workload){
+		func(w *model.Workload) { w.Model.Name = w.Model.Name + "1" },
+		func(w *model.Workload) { w.Model.Family = w.Model.Family + "x" },
+		func(w *model.Workload) { w.Ops[0].Name = w.Ops[0].Name + "2" },
+		func(w *model.Workload) { w.Ops[0].M++ },
+		func(w *model.Workload) { w.Ops = w.Ops[:len(w.Ops)-1] },
+		func(w *model.Workload) { w.Decode = !w.Decode },
+		func(w *model.Workload) { w.WeightStreamBytes = 7 },
+	}
+	ref := string(appendWorkloadKey(nil, &base))
+	for i, mutate := range variants {
+		w := base
+		w.Ops = append([]model.Op(nil), base.Ops...)
+		mutate(&w)
+		if got := string(appendWorkloadKey(nil, &w)); got == ref {
+			t.Errorf("variant %d encodes identically to the base workload", i)
+		}
+	}
+}
+
+// TestSimulateHitAllocationFree: a warmed Simulate hit must not allocate —
+// the property that keeps million-step serving traces allocation-free.
+func TestSimulateHitAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool reuse is randomized under the race detector")
+	}
+	e := New(1)
+	p, w := distinctPoint(3)
+	e.Simulate(p, w) // warm: computes and caches
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Simulate(p, w)
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f/op, want 0", allocs)
+	}
+}

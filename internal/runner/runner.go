@@ -12,7 +12,13 @@
 //   - a content-keyed, single-flight result cache over sim.Simulate, so an
 //     identical (design, mesh, cost, bandwidth, workload) tuple is
 //     computed exactly once per cache generation no matter how many
-//     generators or workers request it.
+//     generators or workers request it. The cache is bounded by a
+//     two-generation (young/old) scheme: when the young generation fills
+//     to the configured capacity it becomes the old generation and the
+//     previous old generation is dropped, so resident entries never
+//     exceed ~2× capacity no matter how long a serving trace runs, while
+//     recently- and frequently-used points (old-generation hits are
+//     promoted back to young) survive rotation.
 //
 // Determinism guarantee: Map assigns work by index and callers write
 // results into index-addressed slots, and sim.Simulate is a pure function
@@ -22,9 +28,7 @@
 package runner
 
 import (
-	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -38,23 +42,34 @@ type Point struct {
 	Workload model.Workload
 }
 
-// Stats reports cache-hit accounting for one engine.
+// DefaultCacheCapacity is the default per-generation entry bound of the
+// simulation cache: two generations of this size fit every distinct point
+// the full experiment registry produces with room to spare, while bounding
+// a million-request serving trace to a few MB of resident results.
+const DefaultCacheCapacity = 1 << 15
+
+// Stats reports cache accounting for one engine.
 type Stats struct {
 	// Hits counts Simulate calls answered from the cache (including
 	// calls that joined an in-flight computation).
 	Hits uint64
 	// Misses counts Simulate calls that computed a fresh result.
 	Misses uint64
+	// Evictions counts cached results dropped by generation rotation
+	// (zero until a workload outgrows the configured capacity).
+	Evictions uint64
 }
 
 // cacheEntry is a single-flight slot: the first requester computes, every
 // later requester waits on the Once and reads the shared result. ok stays
 // false if the computation panicked, so joiners never mistake the zero
-// Result for a real one.
+// Result for a real one. key is retained so a panicking computation can
+// unpoison its slot from whichever generation currently holds it.
 type cacheEntry struct {
 	once sync.Once
 	res  sim.Result
 	ok   bool
+	key  string
 }
 
 // Engine combines the worker pool and the simulation cache.
@@ -65,17 +80,43 @@ type Engine struct {
 	// it non-blockingly, so the total concurrency across nested calls
 	// stays bounded by the configured parallelism.
 	helpers chan struct{}
-	cache   map[string]*cacheEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// young/old are the two cache generations; lookups check young then
+	// old (promoting old hits), inserts go to young, and filling young to
+	// capacity rotates it into old, dropping the previous old generation.
+	young, old map[string]*cacheEntry
+	capacity   int
+	// prefixes memoizes the rendered sim.Params half of the cache key per
+	// distinct Params value — a handful of entries per process, never
+	// rotated (it holds key encodings, not results).
+	prefixes  map[sim.Params]string
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // New builds an engine with the given parallelism; n <= 0 selects
 // runtime.GOMAXPROCS(0).
 func New(n int) *Engine {
-	e := &Engine{cache: map[string]*cacheEntry{}}
+	e := &Engine{
+		young:    map[string]*cacheEntry{},
+		old:      map[string]*cacheEntry{},
+		prefixes: map[sim.Params]string{},
+		capacity: DefaultCacheCapacity,
+	}
 	e.SetParallelism(n)
 	return e
+}
+
+// SetCacheCapacity bounds each cache generation at n entries (resident
+// results stay under ~2n); n <= 0 restores DefaultCacheCapacity. A
+// smaller capacity takes effect at the next insert's rotation check.
+func (e *Engine) SetCacheCapacity(n int) {
+	if n <= 0 {
+		n = DefaultCacheCapacity
+	}
+	e.mu.Lock()
+	e.capacity = n
+	e.mu.Unlock()
 }
 
 // SetParallelism resizes the worker pool; n <= 0 selects
@@ -168,35 +209,45 @@ func (e *Engine) Map(n int, f func(i int)) {
 // type (including nil-interface-ish values) consistently.
 type panicValue struct{ v any }
 
-// simKey canonicalizes the full simulation input: every Design, CostTable
-// and Mesh field, both bandwidths, and the complete operator list (class,
-// shape, precision, repetition) — not just the model name, since
-// generators simulate stripped and MoE-modified workloads.
-func simKey(p sim.Params, w model.Workload) string {
-	var b strings.Builder
-	b.Grow(512)
-	fmt.Fprintf(&b, "%+v|%+v|%g|%g|%+v|", p.Design, p.Mesh, p.Bandwidth, p.NoCBandwidth, p.Cost)
-	fmt.Fprintf(&b, "%+v|%d|%d|%v|%d|", w.Model, w.Batch, w.CtxLen, w.Decode, w.WeightStreamBytes)
-	for _, op := range w.Ops {
-		fmt.Fprintf(&b, "%+v;", op)
-	}
-	return b.String()
-}
-
 // Simulate is the cache-through simulator: it returns the cached result
 // for an identical input tuple, computing it (exactly once, even under
-// concurrent requests) on first use.
+// concurrent requests) on first use. A steady-state hit allocates
+// nothing: the key is encoded into a pooled buffer (see key.go) and the
+// generation maps are probed with zero-copy string conversions.
 func (e *Engine) Simulate(p sim.Params, w model.Workload) sim.Result {
 	p = p.WithDefaults()
-	key := simKey(p, w)
+	buf := keyBufPool.Get().(*[]byte)
+	b := (*buf)[:0]
+
 	e.mu.Lock()
-	ent, ok := e.cache[key]
+	prefix, ok := e.prefixes[p]
 	if !ok {
-		ent = &cacheEntry{}
-		e.cache[key] = ent
+		prefix = paramsKey(p)
+		e.prefixes[p] = prefix
+	}
+	b = append(b, prefix...)
+	b = appendWorkloadKey(b, &w)
+	ent, hit := e.young[string(b)]
+	if !hit {
+		if prev, inOld := e.old[string(b)]; inOld {
+			// Promote the old-generation hit so it survives the next
+			// rotation.
+			ent, hit = prev, true
+			delete(e.old, prev.key)
+			e.young[prev.key] = prev
+			e.rotateLocked()
+		}
+	}
+	if !hit {
+		ent = &cacheEntry{key: string(b)}
+		e.young[ent.key] = ent
+		e.rotateLocked()
 	}
 	e.mu.Unlock()
-	if ok {
+	*buf = b
+	keyBufPool.Put(buf)
+
+	if hit {
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
@@ -207,7 +258,12 @@ func (e *Engine) Simulate(p sim.Params, w model.Workload) sim.Result {
 		defer func() {
 			if r := recover(); r != nil {
 				e.mu.Lock()
-				delete(e.cache, key)
+				if e.young[ent.key] == ent {
+					delete(e.young, ent.key)
+				}
+				if e.old[ent.key] == ent {
+					delete(e.old, ent.key)
+				}
 				e.mu.Unlock()
 				panic(r)
 			}
@@ -224,6 +280,20 @@ func (e *Engine) Simulate(p sim.Params, w model.Workload) sim.Result {
 	return ent.res
 }
 
+// rotateLocked ages the young generation into old once it reaches
+// capacity, dropping (and counting) the entries of the displaced old
+// generation. Callers hold e.mu. In-flight computations in a dropped
+// generation complete normally for their waiters; the results are simply
+// no longer resident.
+func (e *Engine) rotateLocked() {
+	if len(e.young) < e.capacity {
+		return
+	}
+	e.evictions.Add(uint64(len(e.old)))
+	e.old = e.young
+	e.young = make(map[string]*cacheEntry)
+}
+
 // Prefetch computes every point across the pool, warming the cache so a
 // subsequent serial rendering pass is all hits. Duplicate points collapse
 // onto one computation via the single-flight cache.
@@ -233,25 +303,30 @@ func (e *Engine) Prefetch(pts []Point) {
 	})
 }
 
-// ResetCache drops every cached result and zeroes the hit/miss counters.
+// ResetCache drops every cached result (both generations) and zeroes the
+// hit/miss/eviction counters. The params-prefix memo survives: it holds
+// key encodings, not results.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
-	e.cache = map[string]*cacheEntry{}
+	e.young = map[string]*cacheEntry{}
+	e.old = map[string]*cacheEntry{}
 	e.mu.Unlock()
 	e.hits.Store(0)
 	e.misses.Store(0)
+	e.evictions.Store(0)
 }
 
-// CacheStats returns the hit/miss counters.
+// CacheStats returns the hit/miss/eviction counters.
 func (e *Engine) CacheStats() Stats {
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load()}
 }
 
-// CacheSize returns the number of distinct cached points.
+// CacheSize returns the number of resident cached points across both
+// generations.
 func (e *Engine) CacheSize() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.cache)
+	return len(e.young) + len(e.old)
 }
 
 // ---- Default engine ----
@@ -280,7 +355,10 @@ func Prefetch(pts []Point) { defaultEngine.Prefetch(pts) }
 // ResetCache clears the default engine's cache and counters.
 func ResetCache() { defaultEngine.ResetCache() }
 
-// CacheStats returns the default engine's hit/miss counters.
+// SetCacheCapacity bounds the default engine's cache generations.
+func SetCacheCapacity(n int) { defaultEngine.SetCacheCapacity(n) }
+
+// CacheStats returns the default engine's hit/miss/eviction counters.
 func CacheStats() Stats { return defaultEngine.CacheStats() }
 
 // CacheSize returns the default engine's distinct cached point count.

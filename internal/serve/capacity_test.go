@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"mugi/internal/arch"
+	"mugi/internal/noc"
+	"mugi/internal/runner"
+)
+
+// capSpec keeps search tests fast: short probes, few bisections.
+func capSpec() CapacitySpec {
+	return CapacitySpec{
+		Trace: TraceConfig{Kind: Poisson, Requests: 16, Seed: 3},
+		Iters: 4,
+	}
+}
+
+func TestFindCapacityBrackets(t *testing.T) {
+	res, err := FindCapacity(baseConfig(), capSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity <= 0 {
+		t.Fatalf("single node found no sustainable rate: %+v", res)
+	}
+	if res.Capacity < DefaultMinRate || res.Capacity > DefaultMaxRate {
+		t.Errorf("capacity %.4f outside bracket", res.Capacity)
+	}
+	if res.Probes < 3 {
+		t.Errorf("suspiciously few probes: %d", res.Probes)
+	}
+	if res.AtCapacity.Completed != 16 {
+		t.Errorf("capacity report incomplete: %+v", res.AtCapacity)
+	}
+	if res.Design != "Mugi (256)" || res.Mesh != "1x1" {
+		t.Errorf("cell identity %q/%q", res.Design, res.Mesh)
+	}
+	// The found capacity actually sustains its own probe.
+	if g := res.AtCapacity.SustainedRate / res.AtCapacity.OfferedRate; g < DefaultGoodput {
+		t.Errorf("capacity probe goodput %.3f below threshold", g)
+	}
+}
+
+// TestCapacityScalesWithMesh: a 4x4 mesh must sustain a strictly higher
+// rate than a single node — the capacity-search spelling of
+// TestMeshSpeedsUpServing.
+func TestCapacityScalesWithMesh(t *testing.T) {
+	single, err := FindCapacity(baseConfig(), capSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshCfg := baseConfig()
+	meshCfg.Mesh = noc.NewMesh(4, 4)
+	mesh, err := FindCapacity(meshCfg, capSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Capacity <= single.Capacity {
+		t.Errorf("4x4 capacity %.4f not above single-node %.4f", mesh.Capacity, single.Capacity)
+	}
+}
+
+// TestFindCapacityUnsustainableFloor: a bracket whose floor already
+// overloads the cell reports capacity 0 with a zero report, not an error.
+func TestFindCapacityUnsustainableFloor(t *testing.T) {
+	spec := capSpec()
+	spec.MinRate = 50
+	spec.MaxRate = 100
+	res, err := FindCapacity(baseConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 0 || res.Probes != 1 {
+		t.Errorf("overloaded floor: %+v", res)
+	}
+}
+
+func TestFindCapacityValidates(t *testing.T) {
+	spec := capSpec()
+	spec.MinRate, spec.MaxRate = 4, 2
+	if _, err := FindCapacity(baseConfig(), spec); err == nil {
+		t.Error("inverted bracket should fail")
+	}
+	spec = capSpec()
+	spec.Goodput = 1.5
+	if _, err := FindCapacity(baseConfig(), spec); err == nil {
+		t.Error("goodput above 1 should fail")
+	}
+}
+
+// TestSearchCapacityDeterministicAtAnyParallelism is the engine's
+// acceptance guarantee: the sharded grid search renders byte-identical
+// results whether cells run serially or across eight workers.
+func TestSearchCapacityDeterministicAtAnyParallelism(t *testing.T) {
+	cells := []CapacityCell{
+		{Design: arch.Mugi(256), Mesh: noc.Single},
+		{Design: arch.Mugi(256), Mesh: noc.NewMesh(2, 2)},
+		{Design: arch.SystolicArray(16, true), Mesh: noc.Single},
+	}
+	base := Config{Model: baseConfig().Model}
+	defer runner.SetParallelism(0)
+
+	render := func(par int) []string {
+		runner.SetParallelism(par)
+		runner.ResetCache()
+		results := SearchCapacity(base, cells, capSpec())
+		out := make([]string, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("cell %d: %v", i, r.Err)
+			}
+			// Capacity, probe count, and the full at-capacity report pin
+			// both the search path and the probe contents.
+			out[i] = fmt.Sprintf("%s/%s capacity %.6f probes %d\n%s",
+				r.Design, r.Mesh, r.Capacity, r.Probes, r.AtCapacity.String())
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	runner.ResetCache()
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("cell %d diverges across parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				i, serial[i], parallel[i])
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import "math"
+
+// The latency histograms use a fixed logarithmic grid so Report memory is
+// O(buckets) instead of O(requests): histBuckets buckets span
+// [histMin, histMax) seconds with uniform width in log space. The grid is
+// a compile-time constant, so two runs that feed identical samples — at
+// any runner parallelism — produce bit-identical percentiles, the same
+// determinism contract the rest of the scheduler makes. Twelve decades
+// over 2048 buckets give a bucket width of ~1.4% relative, which is the
+// histogram's worst-case percentile error (golden-tested against exact
+// nearest-rank in hist_test.go).
+const (
+	histBuckets = 2048
+	histMin     = 1e-6
+	histMax     = 1e6
+)
+
+var (
+	histLogMin = math.Log(histMin)
+	// histInvWidth converts a log-seconds offset into a bucket index.
+	histInvWidth = histBuckets / (math.Log(histMax) - histLogMin)
+	// histWidth is one bucket's span in log space.
+	histWidth = (math.Log(histMax) - histLogMin) / histBuckets
+)
+
+// histogram accumulates one latency population on the fixed log grid.
+// Mean, min and max are tracked exactly; the ranked percentiles resolve
+// to the geometric midpoint of the bucket holding the nearest-rank
+// sample.
+type histogram struct {
+	counts   [histBuckets]uint32
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// reset clears the histogram for reuse (pooled scheduler state).
+func (h *histogram) reset() { *h = histogram{} }
+
+// add records one sample in seconds. Samples outside the grid clamp to
+// the edge buckets; min/max stay exact regardless.
+func (h *histogram) add(x float64) {
+	h.n++
+	h.sum += x
+	if h.n == 1 || x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	h.counts[histBucket(x)]++
+}
+
+// histBucket maps a sample to its bucket index, clamping at the edges
+// (non-positive samples land in bucket 0).
+func histBucket(x float64) int {
+	if x < histMin {
+		return 0
+	}
+	i := int((math.Log(x) - histLogMin) * histInvWidth)
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histValue is the geometric midpoint of bucket i, the value a ranked
+// percentile resolves to.
+func histValue(i int) float64 {
+	return math.Exp(histLogMin + (float64(i)+0.5)*histWidth)
+}
+
+// percentiles renders the population summary. Mean and Max are exact;
+// P50/P95/P99 are nearest-rank resolved on the grid and clamped into the
+// exact [min, max] envelope so a one-sample population reports its own
+// value to within half a bucket.
+func (h *histogram) percentiles() Percentiles {
+	if h.n == 0 {
+		return Percentiles{}
+	}
+	p := Percentiles{Count: h.n, Mean: h.sum / float64(h.n), Max: h.max}
+	// Nearest-rank targets, in ascending order so one cumulative walk
+	// fills all three.
+	ranks := [3]int64{
+		nearestRank(0.50, h.n),
+		nearestRank(0.95, h.n),
+		nearestRank(0.99, h.n),
+	}
+	vals := [3]float64{}
+	var cum int64
+	next := 0
+	for i := 0; i < histBuckets && next < len(ranks); i++ {
+		cum += int64(h.counts[i])
+		for next < len(ranks) && cum >= ranks[next] {
+			vals[next] = h.clamp(histValue(i))
+			next++
+		}
+	}
+	p.P50, p.P95, p.P99 = vals[0], vals[1], vals[2]
+	return p
+}
+
+// nearestRank is the 1-based nearest-rank index of quantile q over n
+// samples.
+func nearestRank(q float64, n int64) int64 {
+	r := int64(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// clamp bounds a grid-resolved value by the exact extremes.
+func (h *histogram) clamp(x float64) float64 {
+	if x < h.min {
+		return h.min
+	}
+	if x > h.max {
+		return h.max
+	}
+	return x
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactPercentiles is the retain-all-then-sort reference the histogram
+// replaced: exact nearest-rank percentiles over the full population.
+func exactPercentiles(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	return Percentiles{
+		Count: int64(len(s)),
+		Mean:  sum / float64(len(s)),
+		P50:   rank(0.50), P95: rank(0.95), P99: rank(0.99),
+		Max: s[len(s)-1],
+	}
+}
+
+// histFrom builds a histogram over the samples.
+func histFrom(xs []float64) *histogram {
+	var h histogram
+	for _, x := range xs {
+		h.add(x)
+	}
+	return &h
+}
+
+// oneBucket is the histogram's contract: a grid-resolved percentile lies
+// within one log-bucket of the exact nearest-rank value.
+func oneBucket(got, want float64) bool {
+	if want <= 0 {
+		return got == want
+	}
+	return math.Abs(math.Log(got)-math.Log(want)) <= histWidth
+}
+
+// TestHistogramGoldenAgainstNearestRank pins the histogram percentiles
+// within one bucket of the exact nearest-rank values on the inter-arrival
+// populations of seeded poisson/bursty/diurnal traces — realistic
+// heavy-tailed second-scale data spanning several decades.
+func TestHistogramGoldenAgainstNearestRank(t *testing.T) {
+	for _, kind := range TraceKinds() {
+		tr, err := NewTrace(TraceConfig{Kind: kind, Rate: 3, Requests: 500, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := make([]float64, 0, len(tr.Requests)-1)
+		for i := 1; i < len(tr.Requests); i++ {
+			gaps = append(gaps, tr.Requests[i].Arrival-tr.Requests[i-1].Arrival)
+		}
+		got := histFrom(gaps).percentiles()
+		want := exactPercentiles(gaps)
+		if got.Count != want.Count {
+			t.Fatalf("%v: count %d != %d", kind, got.Count, want.Count)
+		}
+		// Mean and Max are exact by construction.
+		if math.Abs(got.Mean-want.Mean) > 1e-12*math.Abs(want.Mean) {
+			t.Errorf("%v: mean %g != exact %g", kind, got.Mean, want.Mean)
+		}
+		if got.Max != want.Max {
+			t.Errorf("%v: max %g != exact %g", kind, got.Max, want.Max)
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"p50", got.P50, want.P50},
+			{"p95", got.P95, want.P95},
+			{"p99", got.P99, want.P99},
+		} {
+			if !oneBucket(c.got, c.want) {
+				t.Errorf("%v %s: hist %g vs exact %g exceeds one bucket (%.3f%%)",
+					kind, c.name, c.got, c.want, (math.Exp(histWidth)-1)*100)
+			}
+		}
+	}
+}
+
+// TestHistogramEdgeCases: empty, single-sample, constant, and
+// out-of-grid populations.
+func TestHistogramEdgeCases(t *testing.T) {
+	if p := (&histogram{}).percentiles(); p != (Percentiles{}) {
+		t.Errorf("empty histogram: %+v", p)
+	}
+	one := histFrom([]float64{0.123}).percentiles()
+	if one.Count != 1 || one.Mean != 0.123 || one.Max != 0.123 {
+		t.Errorf("single sample: %+v", one)
+	}
+	if !oneBucket(one.P50, 0.123) || one.P99 != one.P50 {
+		t.Errorf("single-sample percentiles: %+v", one)
+	}
+	flat := histFrom([]float64{2, 2, 2, 2}).percentiles()
+	if flat.P50 != flat.P99 || !oneBucket(flat.P50, 2) {
+		t.Errorf("constant population: %+v", flat)
+	}
+	// Clamping: percentiles never escape the exact [min, max] envelope.
+	tiny := histFrom([]float64{1e-9, 1e-9, 1e-9}).percentiles()
+	if tiny.P50 != 1e-9 || tiny.Max != 1e-9 {
+		t.Errorf("sub-grid population must clamp to exact extremes: %+v", tiny)
+	}
+	huge := histFrom([]float64{1e7}).percentiles()
+	if huge.P99 != 1e7 {
+		t.Errorf("super-grid population must clamp to exact max: %+v", huge)
+	}
+}
+
+// TestHistogramMonotone: quantile ordering must survive the grid.
+func TestHistogramMonotone(t *testing.T) {
+	tr, err := NewTrace(TraceConfig{Kind: Bursty, Rate: 2, Requests: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]float64, 0, len(tr.Requests)-1)
+	for i := 1; i < len(tr.Requests); i++ {
+		gaps = append(gaps, tr.Requests[i].Arrival-tr.Requests[i-1].Arrival)
+	}
+	p := histFrom(gaps).percentiles()
+	if !(p.P50 <= p.P95 && p.P95 <= p.P99 && p.P99 <= p.Max) {
+		t.Errorf("percentiles not monotone: %+v", p)
+	}
+}

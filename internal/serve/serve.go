@@ -2,9 +2,8 @@ package serve
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strings"
+	"sync"
 
 	"mugi/internal/arch"
 	"mugi/internal/model"
@@ -21,13 +20,23 @@ const DefaultMaxBatch = 32
 // memory.
 const DefaultKVBudgetBytes int64 = 8 << 30
 
+// DefaultCtxBucket is the default step-shape quantum: decode contexts and
+// prefill lengths are rounded up to the next multiple before pricing, the
+// way paged-KV serving systems round resident contexts up to block
+// boundaries. Quantization bounds the number of distinct simulated step
+// shapes a trace of any length can produce — a million-request run prices
+// O(MaxBatch × MaxSeq/CtxBucket) shapes, not O(requests) — at the cost of
+// a ≤ (CtxBucket-1)-token conservative overestimate per step.
+const DefaultCtxBucket = 32
+
 // StepFunc computes one pass cost; the default is runner.Simulate so step
 // costs are memoized through the content-keyed cache and sweeps that
 // revisit a (batch, context) point — across arrival rates, meshes, or
-// designs — pay for it once. The cache is process-wide and unevicted, so
-// a very long trace (tens of thousands of requests) accumulates one entry
-// per distinct step; call runner.ResetCache between such runs, or inject
-// sim.Simulate directly to skip memoization.
+// designs — pay for it once. The cache is bounded (two generations of
+// runner.DefaultCacheCapacity entries, LRU-ish by generation), so
+// arbitrarily long traces cannot grow it without bound; runner.ResetCache
+// remains available for benchmarks that want a cold start, and injecting
+// sim.Simulate directly skips memoization entirely.
 type StepFunc func(sim.Params, model.Workload) sim.Result
 
 // Config bundles the serving-simulation inputs.
@@ -44,13 +53,18 @@ type Config struct {
 	// (default DefaultKVBudgetBytes). Admission reserves a request's full
 	// prompt+output footprint so no running request is ever evicted.
 	KVBudgetBytes int64
+	// CtxBucket quantizes simulated step shapes: decode contexts and
+	// prefill lengths round up to the next multiple before pricing
+	// (default DefaultCtxBucket; 1 disables quantization).
+	CtxBucket int
 	// Bandwidth is the off-chip bandwidth passed to the simulator (0 =
 	// sim.HBMBandwidth).
 	Bandwidth float64
 	// NoCBandwidth is the aggregate NoC bandwidth passed to the simulator
 	// (0 = the mesh's provisioned default).
 	NoCBandwidth float64
-	// Simulate computes step costs (default runner.Simulate, memoized).
+	// Simulate computes step costs (default runner.Simulate, memoized
+	// through the bounded cache).
 	Simulate StepFunc
 }
 
@@ -62,10 +76,30 @@ func (c Config) withDefaults() Config {
 	if c.KVBudgetBytes == 0 {
 		c.KVBudgetBytes = DefaultKVBudgetBytes
 	}
+	if c.CtxBucket == 0 {
+		c.CtxBucket = DefaultCtxBucket
+	}
+	if c.Mesh.Nodes() == 0 {
+		c.Mesh = noc.Single
+	}
 	if c.Simulate == nil {
 		c.Simulate = runner.Simulate
 	}
 	return c
+}
+
+// bucketCtx rounds a token count up to the CtxBucket boundary, clamped to
+// the model's context window (the validation invariant guarantees no
+// request exceeds it).
+func (c Config) bucketCtx(n int) int {
+	b := c.CtxBucket
+	if b > 1 {
+		n = (n + b - 1) / b * b
+	}
+	if c.Model.MaxSeq > 0 && n > c.Model.MaxSeq {
+		n = c.Model.MaxSeq
+	}
+	return n
 }
 
 // KVBytesPerToken is the per-token KV-cache footprint of one request under
@@ -79,34 +113,12 @@ func KVBytesPerToken(m model.Config) int64 {
 	return (codes + scales) * int64(m.Layers)
 }
 
-// Percentiles summarizes one latency population (seconds).
+// Percentiles summarizes one latency population (seconds). Count is the
+// population size; a zero Count marks an empty population (rendered as
+// n/a, not 0.000 — single-output-token traces have no TPOT samples).
 type Percentiles struct {
 	Mean, P50, P95, P99, Max float64
-}
-
-// percentiles computes nearest-rank percentiles over xs (not mutated).
-func percentiles(xs []float64) Percentiles {
-	if len(xs) == 0 {
-		return Percentiles{}
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	rank := func(q float64) float64 {
-		i := int(math.Ceil(q*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return s[i]
-	}
-	var sum float64
-	for _, x := range s {
-		sum += x
-	}
-	return Percentiles{
-		Mean: sum / float64(len(s)),
-		P50:  rank(0.50), P95: rank(0.95), P99: rank(0.99),
-		Max: s[len(s)-1],
-	}
+	Count                    int64
 }
 
 // Report is one serving simulation: the request-level metrics of a
@@ -116,7 +128,7 @@ type Report struct {
 	Model  string
 	Design string
 	Mesh   string
-	Trace  Trace
+	Trace  TraceInfo
 
 	// Requests/Completed count the trace and its completions (always equal
 	// on return; the scheduler drains the queue).
@@ -135,7 +147,9 @@ type Report struct {
 
 	// TTFT is time from arrival to first output token (queue wait +
 	// prefill); TPOT is the steady-state seconds per output token after
-	// the first; Latency is arrival to final token.
+	// the first; Latency is arrival to final token. Percentiles resolve on
+	// the fixed log-bucket histogram grid (O(buckets) memory at any trace
+	// length); Mean and Max are exact.
 	TTFT, TPOT, Latency Percentiles
 
 	// PrefillSteps/DecodeSteps count scheduler iterations; MeanBatch is
@@ -171,6 +185,10 @@ func (r Report) String() string {
 		r.Makespan, r.PrefillSteps, r.DecodeSteps, r.MeanBatch)
 	p("tokens: %d prompt  %d output", r.PromptTokens, r.OutputTokens)
 	pp := func(name string, x Percentiles, scale float64, unit string) {
+		if x.Count == 0 {
+			p("%-8s n/a (no samples)", name)
+			return
+		}
 		p("%-8s mean %8.3f  p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f  %s",
 			name, x.Mean*scale, x.P50*scale, x.P95*scale, x.P99*scale, x.Max*scale, unit)
 	}
@@ -184,7 +202,7 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// reqState tracks one admitted request.
+// reqState tracks one admitted request in the scheduler's pooled arena.
 type reqState struct {
 	req       Request
 	generated int     // output tokens produced so far
@@ -192,21 +210,141 @@ type reqState struct {
 	deferred  bool    // already counted as a KV-budget deferral
 }
 
+// stepShape keys the scheduler's workload memo: with CtxBucket
+// quantization the set of distinct shapes is small and reused across
+// steps, runs, and pooled scheduler generations, so the hot loop never
+// rebuilds an operator list.
+type stepShape struct {
+	model  model.Config
+	decode bool
+	batch  int
+	ctx    int
+}
+
+// scheduler is the reusable run state: request arenas, index-based
+// active/queue lists, latency histograms, and the workload memo. Runs
+// borrow one from schedPool, so a warmed steady-state step allocates
+// nothing.
+type scheduler struct {
+	states []reqState // arena; active/queue hold indices into it
+	free   []int32    // freed arena slots for reuse
+	queue  []int32    // FIFO of queued (arrived, unadmitted) requests
+	qhead  int        // queue's consumed prefix
+	active []int32    // running decode batch
+
+	ttft, tpot, lat histogram
+
+	workloads map[stepShape]model.Workload
+}
+
+var schedPool = sync.Pool{
+	New: func() any {
+		return &scheduler{workloads: make(map[stepShape]model.Workload)}
+	},
+}
+
+// getScheduler borrows a reset scheduler; the workload memo survives
+// resets deliberately (shapes are config-keyed and reusable forever).
+func getScheduler() *scheduler {
+	sc := schedPool.Get().(*scheduler)
+	sc.states = sc.states[:0]
+	sc.free = sc.free[:0]
+	sc.queue = sc.queue[:0]
+	sc.qhead = 0
+	sc.active = sc.active[:0]
+	sc.ttft.reset()
+	sc.tpot.reset()
+	sc.lat.reset()
+	return sc
+}
+
+// alloc places a request in the arena and returns its index.
+func (sc *scheduler) alloc(r Request) int32 {
+	if n := len(sc.free); n > 0 {
+		idx := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		sc.states[idx] = reqState{req: r}
+		return idx
+	}
+	sc.states = append(sc.states, reqState{req: r})
+	return int32(len(sc.states) - 1)
+}
+
+// release returns an arena slot to the freelist.
+func (sc *scheduler) release(idx int32) { sc.free = append(sc.free, idx) }
+
+// qlen is the current queue depth.
+func (sc *scheduler) qlen() int { return len(sc.queue) - sc.qhead }
+
+// qpush/qpop/qpeek implement the FIFO over the reusable backing slice.
+// The consumed prefix is reclaimed whenever it dominates the slice (not
+// just when the queue drains), so the backing array stays O(backlog) even
+// on sustained-overload streams whose queue never empties — amortized
+// O(1) per operation.
+func (sc *scheduler) qpush(idx int32) {
+	if sc.qhead == len(sc.queue) {
+		sc.queue = sc.queue[:0]
+		sc.qhead = 0
+	} else if sc.qhead > 32 && sc.qhead > len(sc.queue)/2 {
+		n := copy(sc.queue, sc.queue[sc.qhead:])
+		sc.queue = sc.queue[:n]
+		sc.qhead = 0
+	}
+	sc.queue = append(sc.queue, idx)
+}
+
+func (sc *scheduler) qpeek() int32 { return sc.queue[sc.qhead] }
+
+func (sc *scheduler) qpop() int32 {
+	idx := sc.queue[sc.qhead]
+	sc.qhead++
+	return idx
+}
+
+// workload memoizes operator-list construction per quantized step shape.
+func (sc *scheduler) workload(m model.Config, decode bool, batch, ctx int) model.Workload {
+	k := stepShape{model: m, decode: decode, batch: batch, ctx: ctx}
+	if w, ok := sc.workloads[k]; ok {
+		return w
+	}
+	var w model.Workload
+	if decode {
+		w = m.DecodeOps(batch, ctx)
+	} else {
+		w = m.PrefillOps(batch, ctx)
+	}
+	sc.workloads[k] = w
+	return w
+}
+
 // Run drives the trace through the continuous-batching scheduler and
-// returns the request-level report.
+// returns the request-level report. It is RunStream over the
+// materialized trace.
+func Run(cfg Config, tr Trace) (Report, error) {
+	return RunStream(cfg, tr.Stream())
+}
+
+// RunStream drives a request stream through the continuous-batching
+// scheduler and returns the request-level report. Because requests are
+// pulled lazily and metrics accumulate into fixed-size histograms, memory
+// is O(backlog + histogram buckets), never O(trace length) — a
+// million-request stream runs in constant report memory.
 //
 // The scheduler is iteration-level (Orca-style): each round admits
 // arrivals, prefills queued requests while a batch slot and KV budget are
 // free (one prefill pass per request, which also yields its first output
 // token), then runs one decode step for the whole running batch at the
 // longest resident context (padded batching). Completed requests free
-// their KV reservation immediately.
-func Run(cfg Config, tr Trace) (Report, error) {
+// their KV reservation immediately. Requests are validated as they are
+// pulled from the stream; an invalid request aborts the run with a zero
+// Report.
+func RunStream(cfg Config, src Stream) (Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Model.Validate(); err != nil {
 		return Report{}, err
 	}
-	if len(tr.Requests) == 0 {
+	total := src.Len()
+	if total == 0 {
 		return Report{}, fmt.Errorf("serve: empty trace")
 	}
 	if cfg.MaxBatch < 1 {
@@ -214,20 +352,21 @@ func Run(cfg Config, tr Trace) (Report, error) {
 	}
 	perToken := KVBytesPerToken(cfg.Model)
 	need := func(r Request) int64 { return perToken * int64(r.Prompt+r.Output) }
-	for _, r := range tr.Requests {
+	validate := func(r Request) error {
 		if r.Prompt < 1 || r.Output < 1 {
-			return Report{}, fmt.Errorf("serve: request %d has empty prompt or output", r.ID)
+			return fmt.Errorf("serve: request %d has empty prompt or output", r.ID)
 		}
 		// The deepest decode step attends over prompt+output-1 cached
 		// tokens; a model can't serve a request past its context window.
 		if cfg.Model.MaxSeq > 0 && r.Prompt+r.Output-1 > cfg.Model.MaxSeq {
-			return Report{}, fmt.Errorf("serve: request %d spans %d tokens, model %q holds %d — use a shorter length profile",
+			return fmt.Errorf("serve: request %d spans %d tokens, model %q holds %d — use a shorter length profile",
 				r.ID, r.Prompt+r.Output, cfg.Model.Name, cfg.Model.MaxSeq)
 		}
 		if need(r) > cfg.KVBudgetBytes {
-			return Report{}, fmt.Errorf("serve: request %d needs %d KV bytes, budget %d — it can never be scheduled",
+			return fmt.Errorf("serve: request %d needs %d KV bytes, budget %d — it can never be scheduled",
 				r.ID, need(r), cfg.KVBudgetBytes)
 		}
+		return nil
 	}
 	params := sim.Params{
 		Design: cfg.Design, Mesh: cfg.Mesh,
@@ -236,33 +375,48 @@ func Run(cfg Config, tr Trace) (Report, error) {
 
 	rep := Report{
 		Model: cfg.Model.Name, Design: cfg.Design.Name, Mesh: cfg.Mesh.String(),
-		Trace: tr, Requests: len(tr.Requests),
-		OfferedRate: tr.OfferedRate(),
+		Trace: src.Info(), Requests: total,
 	}
-	rep.PromptTokens, rep.OutputTokens = tr.TotalTokens()
 
+	sc := getScheduler()
+	defer schedPool.Put(sc)
+
+	// One-request lookahead over the stream.
+	pending, havePending := src.Next()
+	if havePending {
+		if err := validate(pending); err != nil {
+			return Report{}, err
+		}
+	}
 	var (
-		queue      []*reqState
-		active     []*reqState
-		ttfts      []float64
-		tpots      []float64
-		latencies  []float64
-		now        float64
-		kvInUse    int64
-		batchSum   int
-		leakage    float64
-		nextArrive int
+		firstArrival = pending.Arrival
+		lastArrival  float64
+		now          float64
+		kvInUse      int64
+		batchSum     int
+		leakage      float64
 	)
+	pull := func() error {
+		lastArrival = pending.Arrival
+		rep.PromptTokens += int64(pending.Prompt)
+		rep.OutputTokens += int64(pending.Output)
+		sc.qpush(sc.alloc(pending))
+		pending, havePending = src.Next()
+		if havePending {
+			return validate(pending)
+		}
+		return nil
+	}
 	complete := func(r *reqState) {
 		kvInUse -= need(r.req)
-		latencies = append(latencies, now-r.req.Arrival)
-		ttfts = append(ttfts, r.firstAt-r.req.Arrival)
+		sc.lat.add(now - r.req.Arrival)
+		sc.ttft.add(r.firstAt - r.req.Arrival)
 		if r.req.Output > 1 {
-			tpots = append(tpots, (now-r.firstAt)/float64(r.req.Output-1))
+			sc.tpot.add((now - r.firstAt) / float64(r.req.Output-1))
 		}
 		rep.Completed++
 	}
-	step := func(w model.Workload) sim.Result {
+	step := func(w model.Workload) {
 		res := cfg.Simulate(params, w)
 		now += res.Seconds
 		rep.DynamicEnergy += res.DynamicEnergy
@@ -270,26 +424,29 @@ func Run(cfg Config, tr Trace) (Report, error) {
 		if res.NoCLimited {
 			rep.NoCLimitedSteps++
 		}
-		return res
 	}
 
-	for rep.Completed < len(tr.Requests) {
-		for nextArrive < len(tr.Requests) && tr.Requests[nextArrive].Arrival <= now {
-			queue = append(queue, &reqState{req: tr.Requests[nextArrive]})
-			nextArrive++
+	for rep.Completed < total {
+		for havePending && pending.Arrival <= now {
+			if err := pull(); err != nil {
+				return Report{}, err
+			}
 		}
-		if len(queue) > rep.PeakQueue {
-			rep.PeakQueue = len(queue)
+		if q := sc.qlen(); q > rep.PeakQueue {
+			rep.PeakQueue = q
 		}
-		if len(active) == 0 && len(queue) == 0 {
+		if len(sc.active) == 0 && sc.qlen() == 0 {
+			if !havePending {
+				return Report{}, fmt.Errorf("serve: stream ended after %d of %d requests", rep.Completed, total)
+			}
 			// Idle: jump to the next arrival.
-			now = tr.Requests[nextArrive].Arrival
+			now = pending.Arrival
 			continue
 		}
 
 		// Admission: prefill queued requests while a slot and budget allow.
-		for len(queue) > 0 && len(active) < cfg.MaxBatch {
-			r := queue[0]
+		for sc.qlen() > 0 && len(sc.active) < cfg.MaxBatch {
+			r := &sc.states[sc.qpeek()]
 			if kvInUse+need(r.req) > cfg.KVBudgetBytes {
 				if !r.deferred {
 					r.deferred = true
@@ -297,47 +454,54 @@ func Run(cfg Config, tr Trace) (Report, error) {
 				}
 				break
 			}
-			queue = queue[1:]
+			idx := sc.qpop()
 			kvInUse += need(r.req)
 			if kvInUse > rep.PeakKVBytes {
 				rep.PeakKVBytes = kvInUse
 			}
-			step(cfg.Model.PrefillOps(1, r.req.Prompt))
+			step(sc.workload(cfg.Model, false, 1, cfg.bucketCtx(r.req.Prompt)))
 			rep.PrefillSteps++
 			r.firstAt = now
 			r.generated = 1
 			if r.generated == r.req.Output {
 				complete(r)
+				sc.release(idx)
 			} else {
-				active = append(active, r)
+				sc.active = append(sc.active, idx)
 			}
 		}
 
 		// One decode step for the running batch at the longest context.
-		if len(active) > 0 {
+		if len(sc.active) > 0 {
 			maxCtx := 0
-			for _, r := range active {
+			for _, idx := range sc.active {
+				r := &sc.states[idx]
 				if ctx := r.req.Prompt + r.generated; ctx > maxCtx {
 					maxCtx = ctx
 				}
 			}
-			step(cfg.Model.DecodeOps(len(active), maxCtx))
+			step(sc.workload(cfg.Model, true, len(sc.active), cfg.bucketCtx(maxCtx)))
 			rep.DecodeSteps++
-			batchSum += len(active)
-			remaining := active[:0]
-			for _, r := range active {
+			batchSum += len(sc.active)
+			remaining := sc.active[:0]
+			for _, idx := range sc.active {
+				r := &sc.states[idx]
 				r.generated++
 				if r.generated >= r.req.Output {
 					complete(r)
+					sc.release(idx)
 				} else {
-					remaining = append(remaining, r)
+					remaining = append(remaining, idx)
 				}
 			}
-			active = remaining
+			sc.active = remaining
 		}
 	}
 
-	rep.Makespan = now - tr.Requests[0].Arrival
+	if lastArrival > 0 {
+		rep.OfferedRate = float64(total) / lastArrival
+	}
+	rep.Makespan = now - firstArrival
 	if rep.Makespan > 0 {
 		rep.SustainedRate = float64(rep.Completed) / rep.Makespan
 		rep.TokensPerSecond = float64(rep.OutputTokens) / rep.Makespan
@@ -345,9 +509,9 @@ func Run(cfg Config, tr Trace) (Report, error) {
 	if rep.DecodeSteps > 0 {
 		rep.MeanBatch = float64(batchSum) / float64(rep.DecodeSteps)
 	}
-	rep.TTFT = percentiles(ttfts)
-	rep.TPOT = percentiles(tpots)
-	rep.Latency = percentiles(latencies)
+	rep.TTFT = sc.ttft.percentiles()
+	rep.TPOT = sc.tpot.percentiles()
+	rep.Latency = sc.lat.percentiles()
 	rep.TotalEnergy = rep.DynamicEnergy + leakage*rep.Makespan
 	if rep.Completed > 0 {
 		rep.JoulesPerRequest = rep.TotalEnergy / float64(rep.Completed)

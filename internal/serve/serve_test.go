@@ -155,8 +155,13 @@ func TestKVBudgetForcesQueueing(t *testing.T) {
 	if tight.PeakKVBytes > cramped.KVBudgetBytes {
 		t.Errorf("peak KV %d exceeded budget %d", tight.PeakKVBytes, cramped.KVBudgetBytes)
 	}
-	if tight.Latency.P99 <= full.Latency.P99 {
-		t.Errorf("cramped p99 %.3fs not above roomy p99 %.3fs", tight.Latency.P99, full.Latency.P99)
+	// Deferred admission shows up directly as time-to-first-token: a
+	// deferred request's prefill cannot start until earlier requests
+	// release their KV reservation. (End-to-end p99 is not a reliable
+	// discriminator here — under deep overload both configurations
+	// saturate and the last completions land within a histogram bucket.)
+	if tight.TTFT.P99 <= full.TTFT.P99 {
+		t.Errorf("cramped TTFT p99 %.3fs not above roomy TTFT p99 %.3fs", tight.TTFT.P99, full.TTFT.P99)
 	}
 	if full.KVQueuedRequests != 0 {
 		t.Errorf("roomy budget still deferred %d admissions", full.KVQueuedRequests)

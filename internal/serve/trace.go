@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
 )
 
@@ -180,6 +179,56 @@ type Trace struct {
 	Requests []Request
 }
 
+// TraceInfo identifies a trace in reports without carrying its requests —
+// the piece of a Trace a million-request streaming run can afford to
+// retain.
+type TraceInfo struct {
+	Kind    TraceKind
+	Rate    float64
+	Seed    int64
+	Lengths string
+}
+
+// Info summarizes the trace for reports.
+func (t Trace) Info() TraceInfo {
+	return TraceInfo{Kind: t.Kind, Rate: t.Rate, Seed: t.Seed, Lengths: t.Lengths}
+}
+
+// Stream yields a finite request schedule in arrival order, one request
+// at a time, so a scheduler run never has to materialize the full
+// []Request — the interface behind both materialized traces
+// (Trace.Stream) and the lazy seeded generator (NewStream). A Stream is
+// one-shot: Next returns each request exactly once.
+type Stream interface {
+	// Info identifies the trace for reports.
+	Info() TraceInfo
+	// Len is the total number of requests the stream will yield.
+	Len() int
+	// Next returns the next request in arrival order, or false when the
+	// stream is exhausted.
+	Next() (Request, bool)
+}
+
+// Stream returns a one-shot Stream view over the materialized trace.
+func (t Trace) Stream() Stream { return &sliceStream{t: t} }
+
+type sliceStream struct {
+	t Trace
+	i int
+}
+
+func (s *sliceStream) Info() TraceInfo { return s.t.Info() }
+func (s *sliceStream) Len() int        { return len(s.t.Requests) }
+
+func (s *sliceStream) Next() (Request, bool) {
+	if s.i >= len(s.t.Requests) {
+		return Request{}, false
+	}
+	r := s.t.Requests[s.i]
+	s.i++
+	return r, true
+}
+
 // Horizon is the arrival time of the last request.
 func (t Trace) Horizon() float64 {
 	if len(t.Requests) == 0 {
@@ -205,13 +254,36 @@ func (t Trace) TotalTokens() (prompt, output int64) {
 	return prompt, output
 }
 
-// NewTrace draws a deterministic trace from the seeded generator.
-func NewTrace(cfg TraceConfig) (Trace, error) {
+// lengthSeedMix decorrelates the length generator from the arrival
+// generator so both can draw lazily, one request at a time, from
+// independent deterministic sources.
+const lengthSeedMix = 0x5bd1e995
+
+// genStream draws requests lazily from the seeded generators — the
+// Stream behind NewStream. Memory is O(1) regardless of the configured
+// request count, so a million-request trace never materializes.
+type genStream struct {
+	cfg  TraceConfig
+	arr  *rand.Rand // arrival process draws
+	lens *rand.Rand // length profile draws
+	next int        // next request ID
+	t    float64    // arrival clock, seconds
+
+	// Bursty (MMPP) phase state.
+	on              bool
+	phaseLeft       float64
+	onMean, offMean float64
+}
+
+// NewStream validates the config and returns the lazy seeded request
+// generator. NewTrace is exactly this stream drained into a slice, so a
+// streamed run and a materialized run see identical requests.
+func NewStream(cfg TraceConfig) (Stream, error) {
 	if cfg.Rate <= 0 {
-		return Trace{}, fmt.Errorf("serve: trace rate %g must be positive", cfg.Rate)
+		return nil, fmt.Errorf("serve: trace rate %g must be positive", cfg.Rate)
 	}
 	if cfg.Requests < 1 {
-		return Trace{}, fmt.Errorf("serve: trace needs at least one request, got %d", cfg.Requests)
+		return nil, fmt.Errorf("serve: trace needs at least one request, got %d", cfg.Requests)
 	}
 	if cfg.Lengths == (LengthProfile{}) {
 		cfg.Lengths = ChatLengths()
@@ -219,92 +291,123 @@ func NewTrace(cfg TraceConfig) (Trace, error) {
 	// Kind-specific knobs are defaulted and validated only for their own
 	// kind, so a shared config struct carrying another kind's settings
 	// stays valid.
-	if cfg.Kind == Bursty {
+	switch cfg.Kind {
+	case Poisson:
+	case Bursty:
 		if cfg.BurstFactor == 0 {
 			cfg.BurstFactor = 4
 		}
 		if cfg.BurstFactor <= 1 {
-			return Trace{}, fmt.Errorf("serve: burst factor %g must exceed 1", cfg.BurstFactor)
+			return nil, fmt.Errorf("serve: burst factor %g must exceed 1", cfg.BurstFactor)
 		}
-	}
-	if cfg.Kind == Diurnal {
+	case Diurnal:
 		if cfg.Period == 0 {
 			cfg.Period = 60
 		}
 		if cfg.Period < 0 {
-			return Trace{}, fmt.Errorf("serve: diurnal period %g must be positive", cfg.Period)
+			return nil, fmt.Errorf("serve: diurnal period %g must be positive", cfg.Period)
 		}
 		if cfg.Swing == 0 {
 			cfg.Swing = 0.8
 		}
 		if cfg.Swing < 0 || cfg.Swing >= 1 {
-			return Trace{}, fmt.Errorf("serve: diurnal swing %g must be in [0,1)", cfg.Swing)
+			return nil, fmt.Errorf("serve: diurnal swing %g must be in [0,1)", cfg.Swing)
 		}
+	default:
+		return nil, fmt.Errorf("serve: unknown trace kind %v", cfg.Kind)
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	arrivals := make([]float64, 0, cfg.Requests)
-	switch cfg.Kind {
-	case Poisson:
-		t := 0.0
-		for len(arrivals) < cfg.Requests {
-			t += rng.ExpFloat64() / cfg.Rate
-			arrivals = append(arrivals, t)
-		}
-	case Bursty:
+	g := &genStream{
+		cfg:  cfg,
+		arr:  rand.New(rand.NewSource(cfg.Seed)),
+		lens: rand.New(rand.NewSource(cfg.Seed ^ lengthSeedMix)),
+	}
+	if cfg.Kind == Bursty {
 		// Two-state MMPP. ON arrives at BurstFactor*Rate, OFF at
 		// Rate/10; the ON duty cycle p solves
 		// p*BF*R + (1-p)*R/10 = R, and a cycle spans ~40 mean
 		// inter-arrivals so several bursts fit any realistic trace.
-		bf := cfg.BurstFactor
-		p := (1 - 0.1) / (bf - 0.1)
+		p := (1 - 0.1) / (cfg.BurstFactor - 0.1)
 		cycle := 40 / cfg.Rate
-		onMean, offMean := p*cycle, (1-p)*cycle
-		t, on := 0.0, true
-		phaseLeft := rng.ExpFloat64() * onMean
-		for len(arrivals) < cfg.Requests {
-			rate := bf * cfg.Rate
-			if !on {
-				rate = cfg.Rate / 10
+		g.onMean, g.offMean = p*cycle, (1-p)*cycle
+		g.on = true
+		g.phaseLeft = g.arr.ExpFloat64() * g.onMean
+	}
+	return g, nil
+}
+
+func (g *genStream) Info() TraceInfo {
+	return TraceInfo{Kind: g.cfg.Kind, Rate: g.cfg.Rate, Seed: g.cfg.Seed, Lengths: g.cfg.Lengths.Name}
+}
+
+func (g *genStream) Len() int { return g.cfg.Requests }
+
+// Next advances the arrival clock by one draw of the configured process
+// and attaches a length-profile draw. Arrivals are nondecreasing by
+// construction in every process, so the stream needs no sorting.
+func (g *genStream) Next() (Request, bool) {
+	if g.next >= g.cfg.Requests {
+		return Request{}, false
+	}
+	switch g.cfg.Kind {
+	case Poisson:
+		g.t += g.arr.ExpFloat64() / g.cfg.Rate
+	case Bursty:
+		for {
+			rate := g.cfg.BurstFactor * g.cfg.Rate
+			if !g.on {
+				rate = g.cfg.Rate / 10
 			}
 			// Draw the next arrival at the phase rate; if the phase ends
 			// first, switch state and redraw (valid by memorylessness).
-			gap := rng.ExpFloat64() / rate
-			if gap < phaseLeft {
-				t += gap
-				phaseLeft -= gap
-				arrivals = append(arrivals, t)
-				continue
+			gap := g.arr.ExpFloat64() / rate
+			if gap < g.phaseLeft {
+				g.t += gap
+				g.phaseLeft -= gap
+				break
 			}
-			t += phaseLeft
-			on = !on
-			mean := onMean
-			if !on {
-				mean = offMean
+			g.t += g.phaseLeft
+			g.on = !g.on
+			mean := g.onMean
+			if !g.on {
+				mean = g.offMean
 			}
-			phaseLeft = rng.ExpFloat64() * mean
+			g.phaseLeft = g.arr.ExpFloat64() * mean
 		}
 	case Diurnal:
 		// Thinning against the sinusoidal envelope.
-		peak := cfg.Rate * (1 + cfg.Swing)
-		t := 0.0
-		for len(arrivals) < cfg.Requests {
-			t += rng.ExpFloat64() / peak
-			lambda := cfg.Rate * (1 + cfg.Swing*math.Sin(2*math.Pi*t/cfg.Period))
-			if rng.Float64()*peak <= lambda {
-				arrivals = append(arrivals, t)
+		peak := g.cfg.Rate * (1 + g.cfg.Swing)
+		for {
+			g.t += g.arr.ExpFloat64() / peak
+			lambda := g.cfg.Rate * (1 + g.cfg.Swing*math.Sin(2*math.Pi*g.t/g.cfg.Period))
+			if g.arr.Float64()*peak <= lambda {
+				break
 			}
 		}
-	default:
-		return Trace{}, fmt.Errorf("serve: unknown trace kind %v", cfg.Kind)
 	}
-	sort.Float64s(arrivals) // already sorted; guard the invariant
+	prompt, output := g.cfg.Lengths.draw(g.lens)
+	r := Request{ID: g.next, Arrival: g.t, Prompt: prompt, Output: output}
+	g.next++
+	return r, true
+}
 
-	tr := Trace{Kind: cfg.Kind, Rate: cfg.Rate, Seed: cfg.Seed, Lengths: cfg.Lengths.Name}
-	tr.Requests = make([]Request, cfg.Requests)
-	for i := range tr.Requests {
-		prompt, output := cfg.Lengths.draw(rng)
-		tr.Requests[i] = Request{ID: i, Arrival: arrivals[i], Prompt: prompt, Output: output}
+// NewTrace draws a deterministic trace from the seeded generator — the
+// materialized form of NewStream, for callers that want to inspect or
+// reuse the schedule.
+func NewTrace(cfg TraceConfig) (Trace, error) {
+	src, err := NewStream(cfg)
+	if err != nil {
+		return Trace{}, err
+	}
+	info := src.Info()
+	tr := Trace{Kind: info.Kind, Rate: info.Rate, Seed: info.Seed, Lengths: info.Lengths}
+	tr.Requests = make([]Request, 0, src.Len())
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		tr.Requests = append(tr.Requests, r)
 	}
 	return tr, nil
 }

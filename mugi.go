@@ -241,9 +241,17 @@ func ChatLengths() LengthProfile { return serve.ChatLengths() }
 // RAGLengths models long-prompt retrieval-augmented traffic.
 func RAGLengths() LengthProfile { return serve.RAGLengths() }
 
+// TraceStream yields a finite request schedule lazily, in arrival order,
+// so a million-request run never materializes the full trace.
+type TraceStream = serve.Stream
+
 // NewTrace draws a deterministic request trace: identical configs yield
 // byte-identical traces.
 func NewTrace(cfg TraceConfig) (RequestTrace, error) { return serve.NewTrace(cfg) }
+
+// NewTraceStream returns the lazy seeded request generator behind
+// NewTrace: the same requests, drawn one at a time in O(1) memory.
+func NewTraceStream(cfg TraceConfig) (TraceStream, error) { return serve.NewStream(cfg) }
 
 // ParseTraceKind maps "poisson"/"bursty"/"diurnal" to its TraceKind.
 func ParseTraceKind(s string) (TraceKind, error) { return serve.ParseTraceKind(s) }
@@ -265,6 +273,38 @@ type ServeReport = serve.Report
 // experiment runner's cache). Identical (config, trace) inputs produce a
 // byte-identical report at any runner parallelism.
 func Serve(cfg ServeConfig, tr RequestTrace) (ServeReport, error) { return serve.Run(cfg, tr) }
+
+// ServeStream is Serve over a lazy request stream: the scheduler pulls
+// requests as they arrive and aggregates latencies into fixed-size
+// histograms, so memory stays O(backlog + buckets) even for
+// million-request traces.
+func ServeStream(cfg ServeConfig, src TraceStream) (ServeReport, error) {
+	return serve.RunStream(cfg, src)
+}
+
+// CapacitySpec parameterizes a capacity search (probe-trace template,
+// goodput threshold, rate bracket, bisection count).
+type CapacitySpec = serve.CapacitySpec
+
+// CapacityResult is one searched (design, mesh) cell: the maximum
+// sustained request rate and the serving report at that operating point.
+type CapacityResult = serve.CapacityResult
+
+// CapacityCell is one (design, mesh) point of a sharded capacity search.
+type CapacityCell = serve.CapacityCell
+
+// FindCapacity binary-searches the maximum arrival rate cfg sustains:
+// geometric bracketing then log-space bisection over deterministic
+// serving probes, byte-identical at any runner parallelism.
+func FindCapacity(cfg ServeConfig, spec CapacitySpec) (CapacityResult, error) {
+	return serve.FindCapacity(cfg, spec)
+}
+
+// SearchCapacity shards FindCapacity cells across the runner pool and
+// collects results by index (byte-identical at any parallelism).
+func SearchCapacity(base ServeConfig, cells []CapacityCell, spec CapacitySpec) []CapacityResult {
+	return serve.SearchCapacity(base, cells, spec)
+}
 
 // ---- Carbon ----
 
@@ -368,13 +408,19 @@ func RunAll(opts ...RunOption) []ExperimentResult {
 	return results
 }
 
+// SimCacheInfo is the simulation cache's accounting: hits (including
+// requests that joined an in-flight computation), misses, and evictions
+// from the bounded two-generation store.
+type SimCacheInfo = runner.Stats
+
 // SimCacheStats reports the experiment runner's content-keyed simulation
-// cache accounting (hits include requests that joined an in-flight
-// computation).
-func SimCacheStats() (hits, misses uint64) {
-	st := runner.CacheStats()
-	return st.Hits, st.Misses
-}
+// cache accounting.
+func SimCacheStats() SimCacheInfo { return runner.CacheStats() }
+
+// SetSimCacheCapacity bounds each cache generation at n entries (resident
+// results stay under ~2n); n <= 0 restores the default
+// (runner.DefaultCacheCapacity per generation).
+func SetSimCacheCapacity(n int) { runner.SetCacheCapacity(n) }
 
 // ResetSimCache drops every cached simulation result, forcing the next run
 // to recompute from scratch (used by benchmarks to measure cold runs).

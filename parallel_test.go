@@ -66,8 +66,8 @@ func TestRunAllParallelMatchesSerialFacade(t *testing.T) {
 			t.Errorf("%s: parallel rendering diverges from serial", serial[i].ID)
 		}
 	}
-	if hits, misses := SimCacheStats(); hits == 0 || misses == 0 {
-		t.Errorf("cache accounting degenerate: %d hits / %d misses", hits, misses)
+	if st := SimCacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache accounting degenerate: %d hits / %d misses", st.Hits, st.Misses)
 	}
 }
 
