@@ -8,7 +8,7 @@ GO ?= go
 # the same check the workflow runs.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json lint fmt ci
+.PHONY: build test race bench bench-json lint fmt doccheck docs-check ci
 
 build:
 	$(GO) build ./...
@@ -26,14 +26,20 @@ bench:
 
 # Regenerate the hot-path perf trajectory (ns/op + allocs/op for the VLP
 # GEMM, decode step, proxy loss, simulator pass, cold/warm serving runs,
-# the million-request streaming trace, and the capacity search). Fails if
-# any zero-allocation path allocates or a bounded-allocation serving path
-# exceeds its budget. CI runs the same emitter with -benchiters 1 as a
-# smoke check.
+# the million-request streaming trace, the capacity search, and the
+# fleet plan). Fails if any zero-allocation path allocates or a
+# bounded-allocation serving path exceeds its budget. CI runs the same
+# emitter with -benchiters 1 as a smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR4.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR5.json
 
-lint:
+# Godoc coverage gate: every package and every exported facade symbol
+# documented. A prerequisite of both lint and docs-check; make dedupes
+# it within one invocation, so `make ci` runs it once.
+doccheck:
+	$(GO) run ./tools/doccheck
+
+lint: doccheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -46,4 +52,10 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench
+# Documentation gates: godoc coverage (the doccheck prerequisite) and
+# docs/*.md code-fence validity (go fences parse; make targets, go run
+# paths, CLI flags, and relative links all resolve against the tree).
+docs-check: doccheck
+	$(GO) run ./tools/docscheck
+
+ci: lint build race bench docs-check

@@ -416,3 +416,45 @@ func BenchmarkCapacitySearch(b *testing.B) {
 	b.ReportMetric(float64(res.Probes), "probes")
 	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/run")
 }
+
+// BenchmarkFleetPlan measures one full fleet plan — SLO-bound capacity
+// search, TCO pricing, and both frontiers over a 2-design x 2-mesh x
+// {1, 2}-replica grid under JSQ routing — from a cold cache. This is the
+// headline unit of the PR 5 fleet planner; the reported frontier size
+// guards against the planner silently degenerating to zero survivors.
+func BenchmarkFleetPlan(b *testing.B) {
+	runner.SetParallelism(1)
+	defer runner.SetParallelism(0)
+	spec := FleetPlanSpec{
+		Base: ServeConfig{Model: Llama2_7B},
+		Cells: FleetGrid(
+			[]Design{NewMugi(256), NewSystolicArray(16, true)},
+			[]Mesh{SingleNode, NewMesh(2, 2)},
+			[]int{1, 2},
+		),
+		Policy: FleetJSQ,
+		Trace:  TraceConfig{Kind: TracePoisson, Requests: 16, Seed: 1},
+		SLO:    FleetSLO{TTFTP99: 60, LatencyP99: 300},
+		Iters:  3,
+	}
+	var results []FleetCellResult
+	for i := 0; i < b.N; i++ {
+		ResetSimCache()
+		results = PlanFleet(spec)
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	front := FleetFrontier(results, FrontierByDollar)
+	if len(front) == 0 {
+		b.Fatal("empty perf/$ frontier")
+	}
+	b.ReportMetric(float64(len(front)), "frontier-cells")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/plan")
+}
+
+// BenchmarkFleetExperiment regenerates the fleet-planner registry
+// artifact (the "what fleet should I buy?" table + frontiers).
+func BenchmarkFleetExperiment(b *testing.B) { benchExperiment(b, "fleet") }

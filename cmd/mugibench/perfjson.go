@@ -20,7 +20,8 @@ import (
 
 // The perf-trajectory emitter: -json times the functional-stack hot paths
 // (VLP GEMM, decode step, accuracy-proxy loss, simulator pass, serving
-// runs, capacity search) in-process and writes ns/op + allocs/op as JSON,
+// runs, capacity search, fleet plan) in-process and writes ns/op +
+// allocs/op as JSON,
 // the cross-PR baseline future optimisation PRs regress against (the
 // external-sort tradition of publishing a measured perf trajectory rather
 // than a claim). Kernels marked zeroAlloc gate the exit status: any
@@ -37,28 +38,30 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_PR4.json schema.
+// benchFile is the BENCH_PR5.json schema.
 type benchFile struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
-	// Baseline carries the pre-optimization measurements (PR 3 HEAD,
-	// same shapes, Xeon @ 2.10 GHz) so the file documents the speedup it
+	// Baseline carries the previous PR's recorded measurements (same
+	// shapes, same machine class) so the file documents the trajectory it
 	// gates, not just the current numbers.
-	Baseline   []benchRecord `json:"baseline_pr3"`
+	Baseline   []benchRecord `json:"baseline_pr4"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// baselinePR3 is the pre-PR trajectory: the measurements recorded in
-// BENCH_PR3.json at the PR 3 commit, before the serving stack was
-// rebuilt for sweep scale. serve_poisson_cold is the headline this PR
-// gates: 12,643 allocs/op (one per request-state, latency sample, and
-// unbucketed step shape) down to a per-miss-only residual.
-var baselinePR3 = []benchRecord{
-	{Name: "vlp_gemm_8x512x512", Iters: 58, NsPerOp: 1738419, AllocsPerOp: 0},
-	{Name: "decode_step", Iters: 512, NsPerOp: 270238, AllocsPerOp: 0},
-	{Name: "proxy_loss", Iters: 12, NsPerOp: 7902153, AllocsPerOp: 0},
-	{Name: "simulate_decode", Iters: 2000, NsPerOp: 2165, AllocsPerOp: 4},
-	{Name: "serve_poisson_cold", Iters: 7, NsPerOp: 12982591, AllocsPerOp: 12643},
+// baselinePR4 is the pre-PR trajectory: the measurements recorded in
+// BENCH_PR4.json at the PR 4 commit, carried forward so BENCH_PR5.json
+// stays self-contained. The fleet_plan kernel is new in PR 5 and has no
+// baseline entry.
+var baselinePR4 = []benchRecord{
+	{Name: "vlp_gemm_8x512x512", Iters: 30, NsPerOp: 1631035, AllocsPerOp: 0},
+	{Name: "decode_step", Iters: 512, NsPerOp: 282577, AllocsPerOp: 0},
+	{Name: "proxy_loss", Iters: 14, NsPerOp: 7414541, AllocsPerOp: 0},
+	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1110, AllocsPerOp: 4},
+	{Name: "serve_poisson_cold", Iters: 171, NsPerOp: 492874, AllocsPerOp: 374},
+	{Name: "serve_poisson_warm", Iters: 234, NsPerOp: 371850, AllocsPerOp: 2},
+	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11457777468, AllocsPerOp: 6},
+	{Name: "capacity_search", Iters: 10, NsPerOp: 10477087, AllocsPerOp: 1589},
 }
 
 // perfKernel is one measurable hot path.
@@ -197,6 +200,22 @@ func perfKernels() []perfKernel {
 		Iters: 4,
 	}
 
+	// Fleet plan: the full planner over a 2-design x 2-mesh x {1,2}
+	// grid under JSQ routing — router, per-replica schedulers, histogram
+	// merges, TCO pricing, and both frontiers — cold cache.
+	fleetSpec := mugi.FleetPlanSpec{
+		Base: mugi.ServeConfig{Model: mugi.Llama2_7B},
+		Cells: mugi.FleetGrid(
+			[]mugi.Design{mugi.NewMugi(256), mugi.NewSystolicArray(16, true)},
+			[]mugi.Mesh{mugi.SingleNode, mugi.NewMesh(2, 2)},
+			[]int{1, 2},
+		),
+		Policy: mugi.FleetJSQ,
+		Trace:  mugi.TraceConfig{Kind: mugi.TracePoisson, Requests: 16, Seed: 1},
+		SLO:    mugi.FleetSLO{TTFTP99: 60, LatencyP99: 300},
+		Iters:  3,
+	}
+
 	return []perfKernel{
 		{
 			name:      "vlp_gemm_8x512x512",
@@ -292,6 +311,26 @@ func perfKernels() []perfKernel {
 				}
 			},
 		},
+		{
+			name: "fleet_plan",
+			// The planner allocates per probe (routed schedules, reports,
+			// frontier copies) but never per scheduler step: the budget is
+			// sized ~4x over the measured cold run so a regression to
+			// per-step allocation (thousands of steps per probe) trips it.
+			maxAllocs: 15_000,
+			op: func() {
+				mugi.ResetSimCache()
+				results := mugi.PlanFleet(fleetSpec)
+				for _, r := range results {
+					if r.Err != nil {
+						panic(r.Err)
+					}
+				}
+				if len(mugi.FleetFrontier(results, mugi.FrontierByDollar)) == 0 {
+					panic("fleet_plan produced an empty frontier")
+				}
+			},
+		},
 	}
 }
 
@@ -311,7 +350,7 @@ func seedFill(data []float32, std float64) {
 // It returns an error if any zero-allocation path allocated.
 func runPerfJSON(path string, iters, parallel int) error {
 	runner.SetParallelism(parallel)
-	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR3}
+	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR4}
 	var regressions []string
 	for _, k := range perfKernels() {
 		rec := measure(k, iters)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"mugi/internal/cliusage"
 	"mugi/internal/dist"
 	"mugi/internal/nonlinear"
 )
@@ -25,6 +26,13 @@ func main() {
 	depth := flag.Float64("depth", 0.5, "normalized layer depth in [0,1]")
 	n := flag.Int("n", 1<<16, "sample count")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Usage = cliusage.Grouped(flag.CommandLine,
+		"mugiprofile — synthetic workload distribution profiles (Fig. 4).\nUsage: mugiprofile [flags]",
+		[]cliusage.Group{
+			{Title: "profile selection", Flags: []string{"family", "op", "depth"}},
+			{Title: "sampling", Flags: []string{"n", "seed"}},
+			{Title: "other"},
+		})
 	flag.Parse()
 
 	op, err := parseOp(*opName)

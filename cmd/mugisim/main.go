@@ -1,7 +1,9 @@
 // Command mugisim runs architecture simulations: a single (design, model,
 // mesh) point with the Table-3 style metrics and latency breakdown, a
-// request-level serving scenario with -serve, or — with -all — the full
-// experiment registry fanned across the concurrent sweep runner.
+// request-level serving scenario with -serve, a capacity search with
+// -capacity, a fleet plan (TCO + price-performance frontiers) with
+// -fleet, or — with -all — the full experiment registry fanned across the
+// concurrent sweep runner.
 //
 // Usage:
 //
@@ -9,22 +11,39 @@
 //	mugisim -design sa -rows 16 -mesh 4x4 -model "Llama 2 7B"
 //	mugisim -serve -mesh 4x4 -rate 0.5 -requests 48 -trace bursty
 //	mugisim -capacity -designs mugi,saf -meshes 1x1,2x2,4x4 -parallel 8
+//	mugisim -fleet -designs mugi,saf -meshes 1x1,2x2 -replicas 1,2,4 -policy jsq
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
+//
+// See docs/CLI.md for the full flag reference and recipes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mugi"
 	"mugi/internal/arch"
+	"mugi/internal/cliusage"
 	"mugi/internal/model"
 	"mugi/internal/noc"
 	"mugi/internal/runner"
 	"mugi/internal/sim"
 )
+
+// usageGroups maps each flag to its mode group so -h renders a usage
+// organized by what the user is trying to do, not one flat alphabetical
+// list. Flags absent from every group land under "shared".
+var usageGroups = []cliusage.Group{
+	{Title: "single-pass simulation (default mode)", Flags: []string{"design", "rows", "mesh", "model", "batch", "seq", "prefill"}},
+	{Title: "request-level serving (-serve)", Flags: []string{"serve", "trace", "rate", "requests", "seed", "lengths", "maxbatch", "kvbudget"}},
+	{Title: "capacity search (-capacity)", Flags: []string{"capacity", "designs", "meshes"}},
+	{Title: "fleet planning (-fleet)", Flags: []string{"fleet", "replicas", "policy", "slo-ttft", "slo-latency", "utilization"}},
+	{Title: "full registry (-all)", Flags: []string{"all"}},
+	{Title: "shared"},
+}
 
 func main() {
 	design := flag.String("design", "mugi", "design: mugi|mugil|carat|sa|saf|sd|sdf|tensor")
@@ -35,18 +54,27 @@ func main() {
 	seq := flag.Int("seq", 4096, "context/sequence length")
 	prefill := flag.Bool("prefill", false, "simulate prefill instead of decode")
 	all := flag.Bool("all", false, "regenerate every registered experiment instead of one point")
-	parallel := flag.Int("parallel", 0, "worker pool size for -all (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	serveMode := flag.Bool("serve", false, "run a request-level serving scenario instead of one pass")
-	traceKind := flag.String("trace", "poisson", "arrival process for -serve: poisson|bursty|diurnal")
-	rate := flag.Float64("rate", 0.5, "mean arrival rate in requests/s for -serve")
-	requests := flag.Int("requests", 48, "request count for -serve")
-	traceSeed := flag.Int64("seed", 1, "trace seed for -serve")
-	lengths := flag.String("lengths", "chat", "request length profile for -serve: chat|rag")
-	maxBatch := flag.Int("maxbatch", 0, "decode batch cap for -serve (0 = default)")
-	kvBudgetGB := flag.Float64("kvbudget", 0, "KV-cache budget in GiB for -serve (0 = default 8)")
+	traceKind := flag.String("trace", "poisson", "arrival process: poisson|bursty|diurnal")
+	rate := flag.Float64("rate", 0.5, "mean arrival rate in requests/s")
+	requests := flag.Int("requests", 48, "request count (per probe in -capacity/-fleet)")
+	traceSeed := flag.Int64("seed", 1, "trace seed")
+	lengths := flag.String("lengths", "chat", "request length profile: chat|rag")
+	maxBatch := flag.Int("maxbatch", 0, "decode batch cap (0 = default)")
+	kvBudgetGB := flag.Float64("kvbudget", 0, "KV-cache budget in GiB (0 = default 8)")
 	capacityMode := flag.Bool("capacity", false, "binary-search the max sustained req/s per (design, mesh) cell")
-	designsCSV := flag.String("designs", "mugi,saf", "comma-separated designs for -capacity")
-	meshesCSV := flag.String("meshes", "1x1,2x2,4x4", "comma-separated meshes for -capacity")
+	designsCSV := flag.String("designs", "mugi,saf", "comma-separated designs for -capacity/-fleet")
+	meshesCSV := flag.String("meshes", "1x1,2x2,4x4", "comma-separated meshes for -capacity/-fleet")
+	fleetMode := flag.Bool("fleet", false, "plan fleets: SLO capacity, TCO, and price-performance frontiers")
+	replicasCSV := flag.String("replicas", "1,2,4", "comma-separated replica counts for -fleet")
+	policyName := flag.String("policy", "jsq", "fleet routing policy: round-robin|jsq|affinity")
+	sloTTFT := flag.Float64("slo-ttft", 60, "fleet SLO: p99 TTFT bound in seconds (0 = unbounded)")
+	sloLatency := flag.Float64("slo-latency", 300, "fleet SLO: p99 latency bound in seconds (0 = unbounded)")
+	utilization := flag.Float64("utilization", 0, "fleet TCO target utilization in (0,1] (0 = default 0.6)")
+	flag.Usage = cliusage.Grouped(flag.CommandLine,
+		"mugisim — architecture, serving, capacity, and fleet simulations.\nUsage: mugisim [mode flag] [flags]",
+		usageGroups)
 	flag.Parse()
 
 	if *all {
@@ -56,6 +84,12 @@ func main() {
 	if *capacityMode {
 		runCapacity(*designsCSV, *meshesCSV, *rows, *modelName, *traceKind,
 			*lengths, *requests, *traceSeed, *maxBatch, *kvBudgetGB, *parallel)
+		return
+	}
+	if *fleetMode {
+		runFleet(*designsCSV, *meshesCSV, *replicasCSV, *rows, *modelName, *traceKind,
+			*lengths, *policyName, *requests, *traceSeed, *maxBatch, *kvBudgetGB,
+			*sloTTFT, *sloLatency, *utilization, *parallel)
 		return
 	}
 	d, err := buildDesign(*design, *rows)
@@ -150,16 +184,8 @@ func runCapacity(designsCSV, meshesCSV string, rows int, modelName, traceKind, l
 		fatal(err)
 	}
 	var cells []mugi.CapacityCell
-	for _, ds := range strings.Split(designsCSV, ",") {
-		d, err := buildDesign(strings.TrimSpace(ds), rows)
-		if err != nil {
-			fatal(err)
-		}
-		for _, ms := range strings.Split(meshesCSV, ",") {
-			mesh, err := parseMesh(strings.TrimSpace(ms))
-			if err != nil {
-				fatal(err)
-			}
+	for _, d := range parseDesigns(designsCSV, rows) {
+		for _, mesh := range parseMeshes(meshesCSV) {
 			cells = append(cells, mugi.CapacityCell{Design: d, Mesh: mesh})
 		}
 	}
@@ -191,6 +217,78 @@ func runCapacity(designsCSV, meshesCSV string, rows int, modelName, traceKind, l
 	}
 }
 
+// runFleet plans the design × mesh × replicas grid against the SLO and
+// prints the priced cells plus the dominated-cell-pruned perf/$ and
+// perf/W frontiers.
+func runFleet(designsCSV, meshesCSV, replicasCSV string, rows int, modelName, traceKind,
+	lengths, policyName string, requests int, seed int64, maxBatch int, kvBudgetGB float64,
+	sloTTFT, sloLatency, utilization float64, parallel int) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := mugi.ParseFleetPolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	var replicas []int
+	for _, s := range strings.Split(replicasCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad replica count %q", s))
+		}
+		replicas = append(replicas, n)
+	}
+	if parallel != 0 {
+		runner.SetParallelism(parallel)
+	}
+	spec := mugi.FleetPlanSpec{
+		Base: mugi.ServeConfig{
+			Model: m, MaxBatch: maxBatch, KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+		},
+		Cells:  mugi.FleetGrid(parseDesigns(designsCSV, rows), parseMeshes(meshesCSV), replicas),
+		Policy: policy,
+		Trace:  mugi.TraceConfig{Kind: kind, Requests: requests, Seed: seed, Lengths: profile},
+		SLO:    mugi.FleetSLO{TTFTP99: sloTTFT, LatencyP99: sloLatency},
+		Book:   mugi.PriceBook{Utilization: utilization},
+	}
+	results := mugi.PlanFleet(spec)
+	fmt.Printf("fleet plan: %s, %s %s probes (%d requests, seed %d), %s routing\n",
+		m.Name, traceKind, profile.Name, spec.Trace.Requests, seed, policy)
+	fmt.Printf("SLO: TTFT p99 <= %gs, latency p99 <= %gs\n", sloTTFT, sloLatency)
+	fmt.Printf("%-12s %5s %4s %9s %9s %9s %10s %9s\n",
+		"design", "mesh", "reps", "capacity", "$/hour", "$/1k req", "$/Mtok", "watts")
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("%-12s %5s %4d ERROR %v\n", res.Design, res.Mesh, res.Replicas, res.Err)
+			continue
+		}
+		if res.Capacity == 0 {
+			fmt.Printf("%-12s %5s %4d  cannot hold the SLO at the floor rate\n", res.Design, res.Mesh, res.Replicas)
+			continue
+		}
+		fmt.Printf("%-12s %5s %4d %9.4f %9.4f %9.4f %10.4f %9.2f\n",
+			res.Design, res.Mesh, res.Replicas, res.Capacity,
+			res.TCO.DollarsPerHour, res.TCO.DollarsPer1k, res.TCO.DollarsPerMTok, res.TCO.AvgWatts)
+	}
+	for _, axis := range []mugi.FleetFrontierAxis{mugi.FrontierByDollar, mugi.FrontierByWatt} {
+		front := mugi.FleetFrontier(results, axis)
+		fmt.Printf("-- %s frontier (%d of %d cells) --\n", axis, len(front), len(results))
+		for _, f := range front {
+			fmt.Printf("%-12s %5s x%d  %.4f req/s  $%.4f/h  %.2f W\n",
+				f.Design, f.Mesh, f.Replicas, f.Capacity, f.TCO.DollarsPerHour, f.TCO.AvgWatts)
+		}
+	}
+}
+
 // runAll regenerates the full registry on the bounded worker pool and
 // prints each artifact in paper order, followed by the cache accounting.
 func runAll(parallel int) {
@@ -201,6 +299,33 @@ func runAll(parallel int) {
 	st := mugi.SimCacheStats()
 	fmt.Fprintf(os.Stderr, "mugisim: %d artifacts, sim cache %d hits / %d misses / %d evictions\n",
 		len(results), st.Hits, st.Misses, st.Evictions)
+}
+
+// parseDesigns builds every design of a comma-separated spec, fataling
+// on the first unknown name.
+func parseDesigns(csv string, rows int) []arch.Design {
+	var out []arch.Design
+	for _, s := range strings.Split(csv, ",") {
+		d, err := buildDesign(strings.TrimSpace(s), rows)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseMeshes parses every mesh of a comma-separated spec.
+func parseMeshes(csv string) []noc.Mesh {
+	var out []noc.Mesh
+	for _, s := range strings.Split(csv, ",") {
+		mesh, err := parseMesh(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, mesh)
+	}
+	return out
 }
 
 func buildDesign(kind string, rows int) (arch.Design, error) {

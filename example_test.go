@@ -50,3 +50,38 @@ func argmax(xs []float64) int {
 	}
 	return best
 }
+
+// ExamplePlanFleet mirrors examples/fleet-planning: sweep Mugi against
+// the FIGNA systolic baseline across 1x1-8x8 meshes and 1-2 replicas
+// serving Llama 2 7B chat traffic, then print the dominated-cell-pruned
+// perf/$ frontier. The asserted output pins the planner end to end:
+// routing, capacity search, TCO pricing, and frontier pruning are all
+// deterministic.
+func ExamplePlanFleet() {
+	spec := mugi.FleetPlanSpec{
+		Base: mugi.ServeConfig{Model: mugi.Llama2_7B},
+		Cells: mugi.FleetGrid(
+			[]mugi.Design{mugi.NewMugi(256), mugi.NewSystolicArray(16, true)},
+			[]mugi.Mesh{mugi.SingleNode, mugi.NewMesh(2, 2), mugi.NewMesh(4, 4), mugi.NewMesh(8, 8)},
+			[]int{1, 2},
+		),
+		Policy: mugi.FleetJSQ,
+		Trace:  mugi.TraceConfig{Kind: mugi.TracePoisson, Requests: 16, Seed: 7},
+		SLO:    mugi.FleetSLO{TTFTP99: 60, LatencyP99: 300},
+		Iters:  3,
+	}
+	results := mugi.PlanFleet(spec)
+	front := mugi.FleetFrontier(results, mugi.FrontierByDollar)
+	fmt.Printf("perf/$ frontier: %d of %d cells survive\n", len(front), len(results))
+	for _, f := range front {
+		fmt.Printf("%s %s x%d  %.4f req/s at $%.4f/h\n",
+			f.Design, f.Mesh, f.Replicas, f.Capacity, f.TCO.DollarsPerHour)
+	}
+	// Output:
+	// perf/$ frontier: 5 of 16 cells survive
+	// Mugi (256) 1x1 x1  0.0263 req/s at $0.0057/h
+	// Mugi (256) 2x2 x1  0.1487 req/s at $0.0059/h
+	// Mugi (256) 4x4 x1  0.5946 req/s at $0.0064/h
+	// Mugi (256) 8x8 x1  2.1810 req/s at $0.0083/h
+	// Mugi (256) 8x8 x2  3.0844 req/s at $0.0166/h
+}

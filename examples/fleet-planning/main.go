@@ -1,0 +1,56 @@
+// Command fleet-planning walks the fleet planner end to end: it sweeps
+// Mugi against the FIGNA systolic baseline across 1x1–8x8 meshes and
+// 1–2 replicas serving Llama 2 7B chat traffic, searches each cell's
+// SLO-compliant capacity, prices it with the TCO model, and prints the
+// dominated-cell-pruned perf/$ frontier — the Gray performance/price
+// answer to "what fleet should I buy?".
+//
+// Run with:
+//
+//	go run ./examples/fleet-planning
+package main
+
+import (
+	"fmt"
+
+	"mugi"
+)
+
+func main() {
+	spec := mugi.FleetPlanSpec{
+		Base: mugi.ServeConfig{Model: mugi.Llama2_7B},
+		Cells: mugi.FleetGrid(
+			[]mugi.Design{mugi.NewMugi(256), mugi.NewSystolicArray(16, true)},
+			[]mugi.Mesh{mugi.SingleNode, mugi.NewMesh(2, 2), mugi.NewMesh(4, 4), mugi.NewMesh(8, 8)},
+			[]int{1, 2},
+		),
+		Policy: mugi.FleetJSQ,
+		Trace:  mugi.TraceConfig{Kind: mugi.TracePoisson, Requests: 16, Seed: 7},
+		SLO:    mugi.FleetSLO{TTFTP99: 60, LatencyP99: 300},
+		Iters:  3,
+	}
+	results := mugi.PlanFleet(spec)
+
+	fmt.Println("cell results (capacity = max SLO-compliant req/s):")
+	fmt.Printf("%-12s %5s %4s %10s %10s %10s\n",
+		"design", "mesh", "reps", "capacity", "$/1k req", "$/hour")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-12s %5s %4d ERROR %v\n", r.Design, r.Mesh, r.Replicas, r.Err)
+			continue
+		}
+		if r.Capacity == 0 {
+			fmt.Printf("%-12s %5s %4d  below the floor rate\n", r.Design, r.Mesh, r.Replicas)
+			continue
+		}
+		fmt.Printf("%-12s %5s %4d %10.4f %10.4f %10.4f\n",
+			r.Design, r.Mesh, r.Replicas, r.Capacity, r.TCO.DollarsPer1k, r.TCO.DollarsPerHour)
+	}
+
+	front := mugi.FleetFrontier(results, mugi.FrontierByDollar)
+	fmt.Printf("\nperf/$ frontier (%d of %d cells survive):\n", len(front), len(results))
+	for _, f := range front {
+		fmt.Printf("  %-12s %5s x%d  %.4f req/s at $%.4f/h\n",
+			f.Design, f.Mesh, f.Replicas, f.Capacity, f.TCO.DollarsPerHour)
+	}
+}

@@ -1,0 +1,60 @@
+// Package cliusage renders mode-grouped -h output for the repository's
+// commands. Flag names, usage strings and defaults come from the live
+// flag registrations — never duplicated as literals — so help text
+// cannot drift from what a command actually accepts, and a flag added
+// without a group assignment still surfaces (under the catch-all
+// group) instead of disappearing from -h.
+package cliusage
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Group names one mode's flags. A nil Flags slice marks the catch-all
+// group: it renders every registered flag no other group claimed.
+type Group struct {
+	Title string
+	Flags []string
+}
+
+// Grouped returns a flag.Usage function rendering the intro line
+// followed by each group's flags in declaration order. Every registered
+// flag appears exactly once: under the first group that claims it, or
+// under the catch-all.
+func Grouped(fs *flag.FlagSet, intro string, groups []Group) func() {
+	return func() {
+		w := fs.Output()
+		fmt.Fprintln(w, intro)
+		// emitted enforces exactly-once rendering: the first group to
+		// claim a name wins, later claims (and the catch-all) skip it.
+		emitted := map[string]bool{}
+		for _, g := range groups {
+			var lines []string
+			emit := func(f *flag.Flag) {
+				if emitted[f.Name] {
+					return
+				}
+				emitted[f.Name] = true
+				def := ""
+				if f.DefValue != "" && f.DefValue != "false" {
+					def = fmt.Sprintf(" (default %s)", f.DefValue)
+				}
+				lines = append(lines, fmt.Sprintf("  -%-12s %s%s", f.Name, f.Usage, def))
+			}
+			if g.Flags == nil {
+				fs.VisitAll(emit)
+			} else {
+				for _, name := range g.Flags {
+					if f := fs.Lookup(name); f != nil {
+						emit(f)
+					}
+				}
+			}
+			if len(lines) > 0 {
+				fmt.Fprintf(w, "\n%s:\n%s\n", g.Title, strings.Join(lines, "\n"))
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cliusage
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestGroupedCoversEveryFlagOnce asserts the mode-grouped -h output
+// renders each registered flag exactly once — adding a flag without
+// assigning it a group still surfaces it (under the catch-all), and no
+// group double-claims.
+func TestGroupedCoversEveryFlagOnce(t *testing.T) {
+	fs := flag.NewFlagSet("cmd", flag.ContinueOnError)
+	fs.String("design", "mugi", "design")
+	fs.Bool("serve", false, "serve mode")
+	fs.Bool("fleet", false, "fleet mode")
+	fs.Int("parallel", 0, "workers")
+	fs.Int("unclaimed", 0, "a flag no group lists")
+	var out strings.Builder
+	fs.SetOutput(&out)
+	Grouped(fs, "intro", []Group{
+		{Title: "modes", Flags: []string{"serve", "fleet"}},
+		{Title: "point", Flags: []string{"design", "parallel"}},
+		{Title: "shared"},
+	})()
+	text := out.String()
+	for _, name := range []string{"design", "serve", "fleet", "parallel", "unclaimed"} {
+		if got := strings.Count(text, "  -"+name+" "); got != 1 {
+			t.Errorf("flag -%s rendered %d times in usage:\n%s", name, got, text)
+		}
+	}
+	if !strings.Contains(text, "shared:") {
+		t.Errorf("unclaimed flags did not land under the catch-all:\n%s", text)
+	}
+}
+
+// TestGroupedSkipsUnknownNames: a group listing a flag that was never
+// registered renders nothing for it rather than panicking.
+func TestGroupedSkipsUnknownNames(t *testing.T) {
+	fs := flag.NewFlagSet("cmd", flag.ContinueOnError)
+	fs.Bool("real", false, "exists")
+	var out strings.Builder
+	fs.SetOutput(&out)
+	Grouped(fs, "intro", []Group{{Title: "g", Flags: []string{"real", "ghost"}}})()
+	if strings.Contains(out.String(), "ghost") {
+		t.Errorf("unregistered flag rendered:\n%s", out.String())
+	}
+}
+
+// TestGroupedFirstClaimWins: a flag listed by two groups renders only
+// under the first.
+func TestGroupedFirstClaimWins(t *testing.T) {
+	fs := flag.NewFlagSet("cmd", flag.ContinueOnError)
+	fs.Int("requests", 48, "trace length")
+	var out strings.Builder
+	fs.SetOutput(&out)
+	Grouped(fs, "intro", []Group{
+		{Title: "serving", Flags: []string{"requests"}},
+		{Title: "capacity", Flags: []string{"requests"}},
+		{Title: "shared"},
+	})()
+	text := out.String()
+	if got := strings.Count(text, "  -requests "); got != 1 {
+		t.Errorf("doubly-claimed flag rendered %d times:\n%s", got, text)
+	}
+	if strings.Contains(text, "capacity:") {
+		t.Errorf("empty second group rendered a header:\n%s", text)
+	}
+}

@@ -69,6 +69,7 @@ func Registry() []Entry {
 		{"online", "Extension: online window adaptation (paper §7.1)", Online},
 		{"serve", "Extension: request-level serving under traffic", Serving},
 		{"capacity", "Extension: capacity search (max sustained req/s)", Capacity},
+		{"fleet", "Extension: fleet planner (TCO + price-performance frontiers)", Fleet},
 	}
 }
 

@@ -1,0 +1,235 @@
+// Package fleet is the cluster-level price-performance planner: it lifts
+// the single-replica serving simulator (internal/serve) to the question a
+// deployment is actually sized by — "what fleet should I buy?". Three
+// layers compose:
+//
+//   - a multi-replica trace router (Run) that splits one arrival stream
+//     across N identical replicas under a pluggable policy (round-robin,
+//     join-shortest-queue, session affinity), runs each replica's
+//     continuous-batching scheduler through the pooled zero-alloc core of
+//     internal/serve, and merges the per-replica latency histograms into
+//     one fleet-level serve.Report;
+//   - a TCO model (Price) that prices a (design, mesh, replicas) fleet
+//     from quantities the stack already computes: capex from the 45 nm
+//     cost table's die area via a $/mm² parameter, opex from the
+//     simulator's joules per request and an electricity price, and
+//     carbon — operational and embodied, via internal/carbon — priced
+//     through a $/tonne parameter, yielding $/1k-requests and $/Mtoken at
+//     a target utilization;
+//   - a Pareto engine (Plan, Frontier) that sweeps design × mesh ×
+//     replica-count cells against an SLO, binary-searches each cell's
+//     SLO-compliant capacity, prunes dominated cells, and emits perf/$
+//     and perf/W frontiers.
+//
+// Everything inherits the repository's determinism contract: routing is a
+// single serial pass over the seeded stream, replicas are sharded by
+// index through runner.Map, and merges read per-replica results in index
+// order — so every report and frontier is byte-identical at any runner
+// parallelism, including under the race detector.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"mugi/internal/arch"
+	"mugi/internal/noc"
+	"mugi/internal/runner"
+	"mugi/internal/serve"
+)
+
+// DefaultAffinitySessions is the default session population for the
+// Affinity policy: request IDs fold onto this many logical sessions
+// before hashing onto replicas.
+const DefaultAffinitySessions = 64
+
+// MaxReplicas bounds a fleet so a mistyped CLI flag cannot ask the router
+// to materialize millions of per-replica schedules.
+const MaxReplicas = 4096
+
+// Config bundles a fleet run: one replica's serving configuration
+// stamped out Replicas times behind a routing policy.
+type Config struct {
+	// Replica is the per-replica serving configuration (model, design,
+	// mesh, batch cap, KV budget — see serve.Config).
+	Replica serve.Config
+	// Replicas is the replica count (default 1, max MaxReplicas).
+	Replicas int
+	// Policy routes arrivals to replicas (default RoundRobin).
+	Policy Policy
+	// AffinitySessions is the session population for the Affinity policy
+	// (default DefaultAffinitySessions).
+	AffinitySessions int
+}
+
+// withDefaults materializes the zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.AffinitySessions == 0 {
+		c.AffinitySessions = DefaultAffinitySessions
+	}
+	return c
+}
+
+// Report is one fleet run: the merged fleet-level serving report plus the
+// per-replica detail behind it.
+type Report struct {
+	// Fleet is the merged report. Its percentiles are computed over every
+	// replica's samples (the per-replica histograms merge losslessly on
+	// the shared grid), not averaged from per-replica summaries; its
+	// Makespan spans the whole fleet (first arrival anywhere to last
+	// completion anywhere); its TotalEnergy charges every replica's
+	// leakage over that full fleet makespan, so an idle replica is not
+	// free. PeakKVBytes sums per-replica peaks (a provisioning bound);
+	// PeakQueue is the worst single replica's backlog.
+	Fleet serve.Report
+	// Replicas holds the per-replica reports, indexed by replica id. A
+	// replica the policy never routed to has a zero Report.
+	Replicas []serve.Report
+	// Routed counts the requests assigned to each replica.
+	Routed []int
+	// Policy is the routing policy the run used.
+	Policy Policy
+}
+
+// String renders the fleet report deterministically: the merged report
+// followed by one routing line per replica.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d replicas, %s routing\n", len(r.Replicas), r.Policy)
+	b.WriteString(r.Fleet.String())
+	for i, rep := range r.Replicas {
+		if r.Routed[i] == 0 {
+			fmt.Fprintf(&b, "replica %d: 0 requests\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "replica %d: %d requests  sustained %.3f req/s  mean batch %.2f  peak queue %d\n",
+			i, r.Routed[i], rep.SustainedRate, rep.MeanBatch, rep.PeakQueue)
+	}
+	return b.String()
+}
+
+// Run routes the stream across the fleet and returns the merged report.
+// Phase 1 routes every request serially (the policy is a pure function of
+// the stream); phase 2 runs each replica's scheduler, sharded across the
+// runner pool by replica index (each replica reuses the pooled zero-alloc
+// scheduler of internal/serve); phase 3 merges per-replica results in
+// index order. The output is byte-identical at any runner parallelism.
+//
+// The router materializes per-replica schedules, so fleet runs hold
+// O(trace length) request records — fleet planning is built around
+// bounded probe traces, not the million-request streaming path.
+func Run(cfg Config, src serve.Stream) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas < 1 || cfg.Replicas > MaxReplicas {
+		return Report{}, fmt.Errorf("fleet: replica count %d outside [1, %d]", cfg.Replicas, MaxReplicas)
+	}
+	perReplica, firstArrival, lastArrival, err := route(cfg, src)
+	if err != nil {
+		return Report{}, err
+	}
+	info := src.Info()
+
+	stats := make([]serve.RunStats, cfg.Replicas)
+	errs := make([]error, cfg.Replicas)
+	runner.Map(cfg.Replicas, func(i int) {
+		if len(perReplica[i]) == 0 {
+			return
+		}
+		stats[i], errs[i] = serve.RunStreamStats(cfg.Replica, &replicaStream{info: info, rs: perReplica[i]})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return Report{}, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+	}
+
+	out := Report{
+		Replicas: make([]serve.Report, cfg.Replicas),
+		Routed:   make([]int, cfg.Replicas),
+		Policy:   cfg.Policy,
+	}
+	var (
+		ttft, tpot, lat serve.Hist
+		end             float64
+		batchSum        float64
+		leakage         float64
+	)
+	fl := &out.Fleet
+	fl.Trace = info
+	for i := range stats {
+		out.Routed[i] = len(perReplica[i])
+		if len(perReplica[i]) == 0 {
+			// Idle replicas still occupy silicon: their leakage and capex
+			// are charged below like everyone else's.
+			leakage += idleLeakage(cfg.Replica)
+			continue
+		}
+		rep := stats[i].Report
+		out.Replicas[i] = rep
+		if fl.Model == "" {
+			fl.Model, fl.Design, fl.Mesh = rep.Model, rep.Design, rep.Mesh
+		}
+		fl.Requests += rep.Requests
+		fl.Completed += rep.Completed
+		fl.PromptTokens += rep.PromptTokens
+		fl.OutputTokens += rep.OutputTokens
+		fl.PrefillSteps += rep.PrefillSteps
+		fl.DecodeSteps += rep.DecodeSteps
+		batchSum += rep.MeanBatch * float64(rep.DecodeSteps)
+		fl.PeakKVBytes += rep.PeakKVBytes
+		if rep.PeakQueue > fl.PeakQueue {
+			fl.PeakQueue = rep.PeakQueue
+		}
+		fl.KVQueuedRequests += rep.KVQueuedRequests
+		fl.DynamicEnergy += rep.DynamicEnergy
+		fl.NoCLimitedSteps += rep.NoCLimitedSteps
+		leakage += stats[i].LeakageWatts
+		if stats[i].End > end {
+			end = stats[i].End
+		}
+		ttft.Merge(&stats[i].TTFT)
+		tpot.Merge(&stats[i].TPOT)
+		lat.Merge(&stats[i].Latency)
+	}
+	if lastArrival > 0 {
+		fl.OfferedRate = float64(fl.Requests) / lastArrival
+	}
+	fl.Makespan = end - firstArrival
+	if fl.Makespan > 0 {
+		fl.SustainedRate = float64(fl.Completed) / fl.Makespan
+		fl.TokensPerSecond = float64(fl.OutputTokens) / fl.Makespan
+	}
+	if fl.DecodeSteps > 0 {
+		fl.MeanBatch = batchSum / float64(fl.DecodeSteps)
+	}
+	fl.TTFT = ttft.Percentiles()
+	fl.TPOT = tpot.Percentiles()
+	fl.Latency = lat.Percentiles()
+	fl.TotalEnergy = fl.DynamicEnergy + leakage*fl.Makespan
+	if fl.Completed > 0 {
+		fl.JoulesPerRequest = fl.TotalEnergy / float64(fl.Completed)
+	}
+	return out, nil
+}
+
+// idleLeakage is the static power of a replica that served nothing: its
+// silicon still exists for the whole fleet makespan.
+func idleLeakage(cfg serve.Config) float64 {
+	mesh := cfg.Mesh
+	if mesh.Nodes() == 0 {
+		mesh = noc.Single
+	}
+	return replicaAreaMM2(cfg.Design, mesh) * arch.Cost45nm.LeakagePerMM2
+}
+
+// replicaAreaMM2 is the total silicon of one replica: every node's die
+// plus the NoC routers.
+func replicaAreaMM2(d arch.Design, mesh noc.Mesh) float64 {
+	if mesh.Nodes() == 0 {
+		mesh = noc.Single
+	}
+	return d.Area(arch.Cost45nm).Total()*float64(mesh.Nodes()) + mesh.AreaMM2()
+}

@@ -1,0 +1,311 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mugi/internal/arch"
+	"mugi/internal/noc"
+	"mugi/internal/runner"
+	"mugi/internal/serve"
+)
+
+// Planner defaults (the serve capacity-search defaults, reused at fleet
+// granularity).
+const (
+	// DefaultPlanRequests is the per-probe trace length.
+	DefaultPlanRequests = 32
+	// DefaultPlanIters is the log-bisection count after bracketing.
+	DefaultPlanIters = 5
+)
+
+// SLO bounds the latency tail a cell must hold to count as serving. A
+// zero field disables that bound; a zero SLO reduces the planner to a
+// pure goodput capacity search.
+type SLO struct {
+	// TTFTP99 caps the p99 time-to-first-token, in seconds.
+	TTFTP99 float64
+	// LatencyP99 caps the p99 request latency, in seconds.
+	LatencyP99 float64
+}
+
+// met reports whether a fleet report holds the SLO.
+func (s SLO) met(rep serve.Report) bool {
+	if s.TTFTP99 > 0 && rep.TTFT.P99 > s.TTFTP99 {
+		return false
+	}
+	if s.LatencyP99 > 0 && rep.Latency.P99 > s.LatencyP99 {
+		return false
+	}
+	return true
+}
+
+// Cell is one (design, mesh, replica-count) point of a fleet sweep.
+type Cell struct {
+	Design   arch.Design
+	Mesh     noc.Mesh
+	Replicas int
+}
+
+// PlanSpec parameterizes a fleet plan: the sweep grid, the probe traffic,
+// the SLO, and the price book.
+type PlanSpec struct {
+	// Base supplies everything of the replica serving configuration but
+	// design and mesh (model, batch cap, KV budget), which each cell
+	// overwrites.
+	Base serve.Config
+	// Cells is the sweep grid (see Grid for the cross-product helper).
+	Cells []Cell
+	// Policy routes within each fleet probe (default RoundRobin).
+	Policy Policy
+	// AffinitySessions parameterizes the Affinity policy.
+	AffinitySessions int
+	// Trace is the probe-trace template; Rate is overwritten per probe
+	// and Requests defaults to DefaultPlanRequests.
+	Trace serve.TraceConfig
+	// SLO is the tail-latency bound a probe must hold.
+	SLO SLO
+	// Book prices each cell's operating point.
+	Book PriceBook
+	// Goodput, MinRate, MaxRate and Iters shape the per-cell capacity
+	// search exactly as in serve.CapacitySpec (defaults
+	// serve.DefaultGoodput, serve.DefaultMinRate, serve.DefaultMaxRate,
+	// DefaultPlanIters).
+	Goodput          float64
+	MinRate, MaxRate float64
+	Iters            int
+}
+
+// withDefaults materializes the zero-value defaults.
+func (s PlanSpec) withDefaults() PlanSpec {
+	if s.Trace.Requests == 0 {
+		s.Trace.Requests = DefaultPlanRequests
+	}
+	if s.Goodput == 0 {
+		s.Goodput = serve.DefaultGoodput
+	}
+	if s.MinRate == 0 {
+		s.MinRate = serve.DefaultMinRate
+	}
+	if s.MaxRate == 0 {
+		s.MaxRate = serve.DefaultMaxRate
+	}
+	if s.Iters == 0 {
+		s.Iters = DefaultPlanIters
+	}
+	return s
+}
+
+// Grid builds the cross-product cell list designs × meshes × replicas, in
+// deterministic sweep order.
+func Grid(designs []arch.Design, meshes []noc.Mesh, replicas []int) []Cell {
+	var cells []Cell
+	for _, d := range designs {
+		for _, m := range meshes {
+			for _, n := range replicas {
+				cells = append(cells, Cell{Design: d, Mesh: m, Replicas: n})
+			}
+		}
+	}
+	return cells
+}
+
+// CellResult is one planned cell: its SLO-compliant capacity and the
+// priced operating point at that capacity.
+type CellResult struct {
+	// Design, Mesh and Replicas identify the cell.
+	Design   string
+	Mesh     string
+	Replicas int
+	// Capacity is the highest probed arrival rate the fleet sustained
+	// while holding the SLO (0 if even the floor rate fails).
+	Capacity float64
+	// Probes counts fleet runs spent on the search.
+	Probes int
+	// At is the fleet report of the highest passing probe.
+	At Report
+	// TCO prices the At operating point (zero when Capacity is 0).
+	TCO TCO
+	// PerfPerDollar is sustained req/s per burn-rate dollar per hour;
+	// PerfPerWatt is sustained req/s per average facility watt. Both are
+	// 0 when Capacity is 0.
+	PerfPerDollar, PerfPerWatt float64
+	// Err carries a per-cell failure (the other fields are zero).
+	Err error
+}
+
+// Plan searches every cell's SLO-compliant capacity and prices it,
+// sharding cells across the runner pool. Each cell runs the same
+// geometric-bracket + log-bisection search as serve.FindCapacity, with
+// fleet.Run as the probe and "goodput held AND SLO met" as the pass
+// criterion. Results are collected by cell index, so output order —
+// and every byte of every report — is independent of parallelism.
+func Plan(spec PlanSpec) []CellResult {
+	spec = spec.withDefaults()
+	out := make([]CellResult, len(spec.Cells))
+	runner.Map(len(spec.Cells), func(i int) {
+		out[i] = planCell(spec, spec.Cells[i])
+	})
+	return out
+}
+
+// planCell searches one cell.
+func planCell(spec PlanSpec, cell Cell) CellResult {
+	res := CellResult{Design: cell.Design.Name, Mesh: cell.Mesh.String(), Replicas: cell.Replicas}
+	if spec.MinRate <= 0 || spec.MaxRate < spec.MinRate {
+		res.Err = fmt.Errorf("fleet: capacity bracket [%g, %g] invalid", spec.MinRate, spec.MaxRate)
+		return res
+	}
+	if spec.Goodput <= 0 || spec.Goodput > 1 {
+		res.Err = fmt.Errorf("fleet: goodput %g must be in (0, 1]", spec.Goodput)
+		return res
+	}
+	cfg := Config{
+		Replica:          spec.Base,
+		Replicas:         cell.Replicas,
+		Policy:           spec.Policy,
+		AffinitySessions: spec.AffinitySessions,
+	}
+	cfg.Replica.Design = cell.Design
+	cfg.Replica.Mesh = cell.Mesh
+
+	probe := func(rate float64) (Report, bool, error) {
+		tc := spec.Trace
+		tc.Rate = rate
+		src, err := serve.NewStream(tc)
+		if err != nil {
+			return Report{}, false, err
+		}
+		rep, err := Run(cfg, src)
+		if err != nil {
+			return Report{}, false, err
+		}
+		pass := rep.Fleet.SustainedRate >= spec.Goodput*rep.Fleet.OfferedRate && spec.SLO.met(rep.Fleet)
+		return rep, pass, nil
+	}
+
+	rep, ok, err := probe(spec.MinRate)
+	res.Probes++
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if ok {
+		res.Capacity, res.At = spec.MinRate, rep
+		// Geometric doubling until a rate fails (or the bracket tops out).
+		hi := spec.MinRate
+		for ok && hi < spec.MaxRate {
+			hi = math.Min(hi*2, spec.MaxRate)
+			rep, ok, err = probe(hi)
+			res.Probes++
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			if ok {
+				res.Capacity, res.At = hi, rep
+			}
+		}
+		if !ok {
+			// Log-space bisection between last passing and first failing.
+			lo := res.Capacity
+			for i := 0; i < spec.Iters; i++ {
+				mid := math.Sqrt(lo * hi)
+				rep, ok, err = probe(mid)
+				res.Probes++
+				if err != nil {
+					res.Err = err
+					return res
+				}
+				if ok {
+					lo = mid
+					res.Capacity, res.At = mid, rep
+				} else {
+					hi = mid
+				}
+			}
+		}
+	}
+	if res.Capacity == 0 {
+		return res
+	}
+	tco, err := Price(spec.Book, cell.Design, cell.Mesh, cell.Replicas, res.At.Fleet)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.TCO = tco
+	if tco.DollarsPerHour > 0 {
+		res.PerfPerDollar = res.At.Fleet.SustainedRate / tco.DollarsPerHour
+	}
+	if tco.AvgWatts > 0 {
+		res.PerfPerWatt = res.At.Fleet.SustainedRate / tco.AvgWatts
+	}
+	return res
+}
+
+// FrontierAxis selects the cost axis dominance is judged on.
+type FrontierAxis int
+
+const (
+	// ByDollar judges cost as the fleet burn rate ($/hour) — the perf/$
+	// frontier.
+	ByDollar FrontierAxis = iota
+	// ByWatt judges cost as average facility power — the perf/W frontier.
+	ByWatt
+)
+
+// String names the axis for renderings.
+func (a FrontierAxis) String() string {
+	if a == ByWatt {
+		return "perf/W"
+	}
+	return "perf/$"
+}
+
+// cost extracts the axis value of one cell.
+func (a FrontierAxis) cost(r CellResult) float64 {
+	if a == ByWatt {
+		return r.TCO.AvgWatts
+	}
+	return r.TCO.DollarsPerHour
+}
+
+// Frontier prunes dominated cells: a cell survives iff no other planned
+// cell offers at least its capacity at strictly lower cost, or strictly
+// more capacity at no more cost. Errored and zero-capacity cells never
+// survive. The frontier is returned sorted by ascending cost (ties by
+// ascending capacity, then by input order), so it reads bottom-up as
+// "the cheapest way to buy each next increment of throughput".
+func Frontier(results []CellResult, axis FrontierAxis) []CellResult {
+	var out []CellResult
+	for i, r := range results {
+		if r.Err != nil || r.Capacity <= 0 {
+			continue
+		}
+		dominated := false
+		for j, o := range results {
+			if i == j || o.Err != nil || o.Capacity <= 0 {
+				continue
+			}
+			oc, rc := axis.cost(o), axis.cost(r)
+			if oc <= rc && o.Capacity >= r.Capacity && (oc < rc || o.Capacity > r.Capacity) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	// Stable sort: full ties keep their input (sweep) order.
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := axis.cost(out[a]), axis.cost(out[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return out[a].Capacity < out[b].Capacity
+	})
+	return out
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"mugi/internal/runner"
+	"mugi/internal/serve"
+	"mugi/internal/sim"
+)
+
+// Policy selects how the router assigns arriving requests to replicas.
+type Policy int
+
+const (
+	// RoundRobin assigns requests to replicas in arrival order, modulo the
+	// replica count — the stateless baseline every load balancer ships.
+	RoundRobin Policy = iota
+	// JSQ (join-shortest-queue) assigns each request to the replica with
+	// the least estimated backlog at its arrival instant. The router keeps
+	// a virtual completion clock per replica: every routed request extends
+	// the clock by its estimated service demand (prefill seconds plus
+	// output tokens times a batch-1 decode-step estimate, both priced on
+	// the scheduler's quantized step-shape grid), and a replica's backlog
+	// is how far its clock runs ahead of the arrival. The estimate is
+	// deliberately simulation-independent so routing stays a pure function
+	// of the stream — the property the byte-identical-at-any-parallelism
+	// contract rests on.
+	JSQ
+	// Affinity hashes a request's session onto a fixed replica, modeling
+	// session/prefix-cache routing: every request of a session lands where
+	// its KV prefix is warm. Sessions are derived deterministically from
+	// the request ID modulo Config.AffinitySessions.
+	Affinity
+)
+
+// String names the policy for renderings and CLI flags.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case JSQ:
+		return "jsq"
+	case Affinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a CLI spelling to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "round-robin", "roundrobin", "rr":
+		return RoundRobin, nil
+	case "jsq", "join-shortest-queue":
+		return JSQ, nil
+	case "affinity", "session", "prefix":
+		return Affinity, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want round-robin|jsq|affinity)", s)
+}
+
+// Policies lists every routing policy.
+func Policies() []Policy { return []Policy{RoundRobin, JSQ, Affinity} }
+
+// estimator prices a request's service demand for the JSQ virtual clock.
+// Costs come from the replica's own StepFunc at batch 1 on the quantized
+// step-shape grid, memoized locally per shape, so routing a long trace
+// prices O(MaxSeq/CtxBucket) shapes, not O(requests). Batch-1 pricing
+// overestimates batched decode throughput, but every replica is
+// overestimated identically, which is all a load comparison needs.
+type estimator struct {
+	cfg       serve.Config
+	params    sim.Params
+	step      serve.StepFunc
+	prefill   map[int]float64 // bucketed prompt -> prefill seconds
+	decodeSec map[int]float64 // bucketed total ctx -> one decode-step seconds
+}
+
+func newEstimator(cfg serve.Config) *estimator {
+	if cfg.CtxBucket == 0 {
+		cfg.CtxBucket = serve.DefaultCtxBucket
+	}
+	step := cfg.Simulate
+	if step == nil {
+		step = runner.Simulate
+	}
+	return &estimator{
+		cfg: cfg,
+		params: sim.Params{
+			Design: cfg.Design, Mesh: cfg.Mesh,
+			Bandwidth: cfg.Bandwidth, NoCBandwidth: cfg.NoCBandwidth,
+		},
+		step:      step,
+		prefill:   map[int]float64{},
+		decodeSec: map[int]float64{},
+	}
+}
+
+// demand estimates one request's service seconds on an idle replica.
+func (e *estimator) demand(r serve.Request) float64 {
+	p := e.cfg.BucketCtx(r.Prompt)
+	pre, ok := e.prefill[p]
+	if !ok {
+		pre = e.step(e.params, e.cfg.Model.PrefillOps(1, p)).Seconds
+		e.prefill[p] = pre
+	}
+	c := e.cfg.BucketCtx(r.Prompt + r.Output)
+	dec, ok := e.decodeSec[c]
+	if !ok {
+		dec = e.step(e.params, e.cfg.Model.DecodeOps(1, c)).Seconds
+		e.decodeSec[c] = dec
+	}
+	return pre + float64(r.Output-1)*dec
+}
+
+// sessionMix spreads session ids across replicas with a splitmix-style
+// finalizer so session k and replica count n never alias through shared
+// factors.
+func sessionMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// route drains the stream, assigning every request to a replica, and
+// returns the per-replica schedules plus the global arrival envelope.
+// Routing is a single serial pass — deterministic by construction — and
+// requests keep their original arrival times, so all replicas share one
+// simulated clock.
+func route(cfg Config, src serve.Stream) (perReplica [][]serve.Request, firstArrival, lastArrival float64, err error) {
+	n := cfg.Replicas
+	perReplica = make([][]serve.Request, n)
+	var est *estimator
+	busyUntil := make([]float64, n)
+	if cfg.Policy == JSQ {
+		est = newEstimator(cfg.Replica)
+	}
+	i := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if i == 0 {
+			firstArrival = r.Arrival
+		}
+		lastArrival = r.Arrival
+		var target int
+		switch cfg.Policy {
+		case RoundRobin:
+			target = i % n
+		case JSQ:
+			// Least backlog at the arrival instant; ties go to the lowest
+			// index so the choice is total-ordered.
+			best := 0
+			bestBacklog := backlog(busyUntil[0], r.Arrival)
+			for j := 1; j < n; j++ {
+				if b := backlog(busyUntil[j], r.Arrival); b < bestBacklog {
+					best, bestBacklog = j, b
+				}
+			}
+			target = best
+			start := r.Arrival
+			if busyUntil[target] > start {
+				start = busyUntil[target]
+			}
+			busyUntil[target] = start + est.demand(r)
+		case Affinity:
+			sess := uint64(r.ID % cfg.AffinitySessions)
+			target = int(sessionMix(sess) % uint64(n))
+		default:
+			return nil, 0, 0, fmt.Errorf("fleet: unknown policy %v", cfg.Policy)
+		}
+		perReplica[target] = append(perReplica[target], r)
+		i++
+	}
+	if i == 0 {
+		return nil, 0, 0, fmt.Errorf("fleet: empty trace")
+	}
+	return perReplica, firstArrival, lastArrival, nil
+}
+
+// backlog is how far a replica's virtual clock runs ahead of now.
+func backlog(busyUntil, now float64) float64 {
+	if busyUntil <= now {
+		return 0
+	}
+	return busyUntil - now
+}
+
+// replicaStream wraps one replica's routed schedule as a serve.Stream.
+type replicaStream struct {
+	info serve.TraceInfo
+	rs   []serve.Request
+	i    int
+}
+
+func (s *replicaStream) Info() serve.TraceInfo { return s.info }
+func (s *replicaStream) Len() int              { return len(s.rs) }
+
+func (s *replicaStream) Next() (serve.Request, bool) {
+	if s.i >= len(s.rs) {
+		return serve.Request{}, false
+	}
+	r := s.rs[s.i]
+	s.i++
+	return r, true
+}

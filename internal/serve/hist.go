@@ -25,23 +25,26 @@ var (
 	histWidth = (math.Log(histMax) - histLogMin) / histBuckets
 )
 
-// histogram accumulates one latency population on the fixed log grid.
-// Mean, min and max are tracked exactly; the ranked percentiles resolve
-// to the geometric midpoint of the bucket holding the nearest-rank
-// sample.
-type histogram struct {
+// Hist accumulates one latency population on the fixed log grid. Mean,
+// min and max are tracked exactly; the ranked percentiles resolve to the
+// geometric midpoint of the bucket holding the nearest-rank sample.
+// Because every Hist shares the same compile-time grid, populations
+// accumulated on different replicas merge losslessly (Merge), which is
+// what lets internal/fleet combine per-replica runs into one fleet-level
+// report without retaining samples.
+type Hist struct {
 	counts   [histBuckets]uint32
 	n        int64
 	sum      float64
 	min, max float64
 }
 
-// reset clears the histogram for reuse (pooled scheduler state).
-func (h *histogram) reset() { *h = histogram{} }
+// Reset clears the histogram for reuse (pooled scheduler state).
+func (h *Hist) Reset() { *h = Hist{} }
 
-// add records one sample in seconds. Samples outside the grid clamp to
+// Add records one sample in seconds. Samples outside the grid clamp to
 // the edge buckets; min/max stay exact regardless.
-func (h *histogram) add(x float64) {
+func (h *Hist) Add(x float64) {
 	h.n++
 	h.sum += x
 	if h.n == 1 || x < h.min {
@@ -51,6 +54,34 @@ func (h *histogram) add(x float64) {
 		h.max = x
 	}
 	h.counts[histBucket(x)]++
+}
+
+// Count is the population size.
+func (h *Hist) Count() int64 { return h.n }
+
+// Merge folds another population into h bucket by bucket. The shared
+// fixed grid makes this exact: the merged histogram is bit-identical to
+// one that had seen every sample directly (up to floating-point addition
+// order in the mean's running sum), and count, min and max are exact.
+func (h *Hist) Merge(o *Hist) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		*h = *o
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
 }
 
 // histBucket maps a sample to its bucket index, clamping at the edges
@@ -75,11 +106,11 @@ func histValue(i int) float64 {
 	return math.Exp(histLogMin + (float64(i)+0.5)*histWidth)
 }
 
-// percentiles renders the population summary. Mean and Max are exact;
+// Percentiles renders the population summary. Mean and Max are exact;
 // P50/P95/P99 are nearest-rank resolved on the grid and clamped into the
 // exact [min, max] envelope so a one-sample population reports its own
 // value to within half a bucket.
-func (h *histogram) percentiles() Percentiles {
+func (h *Hist) Percentiles() Percentiles {
 	if h.n == 0 {
 		return Percentiles{}
 	}
@@ -119,7 +150,7 @@ func nearestRank(q float64, n int64) int64 {
 }
 
 // clamp bounds a grid-resolved value by the exact extremes.
-func (h *histogram) clamp(x float64) float64 {
+func (h *Hist) clamp(x float64) float64 {
 	if x < h.min {
 		return h.min
 	}

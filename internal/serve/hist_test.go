@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 )
@@ -34,10 +35,10 @@ func exactPercentiles(xs []float64) Percentiles {
 }
 
 // histFrom builds a histogram over the samples.
-func histFrom(xs []float64) *histogram {
-	var h histogram
+func histFrom(xs []float64) *Hist {
+	var h Hist
 	for _, x := range xs {
-		h.add(x)
+		h.Add(x)
 	}
 	return &h
 }
@@ -65,7 +66,7 @@ func TestHistogramGoldenAgainstNearestRank(t *testing.T) {
 		for i := 1; i < len(tr.Requests); i++ {
 			gaps = append(gaps, tr.Requests[i].Arrival-tr.Requests[i-1].Arrival)
 		}
-		got := histFrom(gaps).percentiles()
+		got := histFrom(gaps).Percentiles()
 		want := exactPercentiles(gaps)
 		if got.Count != want.Count {
 			t.Fatalf("%v: count %d != %d", kind, got.Count, want.Count)
@@ -96,26 +97,26 @@ func TestHistogramGoldenAgainstNearestRank(t *testing.T) {
 // TestHistogramEdgeCases: empty, single-sample, constant, and
 // out-of-grid populations.
 func TestHistogramEdgeCases(t *testing.T) {
-	if p := (&histogram{}).percentiles(); p != (Percentiles{}) {
+	if p := (&Hist{}).Percentiles(); p != (Percentiles{}) {
 		t.Errorf("empty histogram: %+v", p)
 	}
-	one := histFrom([]float64{0.123}).percentiles()
+	one := histFrom([]float64{0.123}).Percentiles()
 	if one.Count != 1 || one.Mean != 0.123 || one.Max != 0.123 {
 		t.Errorf("single sample: %+v", one)
 	}
 	if !oneBucket(one.P50, 0.123) || one.P99 != one.P50 {
 		t.Errorf("single-sample percentiles: %+v", one)
 	}
-	flat := histFrom([]float64{2, 2, 2, 2}).percentiles()
+	flat := histFrom([]float64{2, 2, 2, 2}).Percentiles()
 	if flat.P50 != flat.P99 || !oneBucket(flat.P50, 2) {
 		t.Errorf("constant population: %+v", flat)
 	}
 	// Clamping: percentiles never escape the exact [min, max] envelope.
-	tiny := histFrom([]float64{1e-9, 1e-9, 1e-9}).percentiles()
+	tiny := histFrom([]float64{1e-9, 1e-9, 1e-9}).Percentiles()
 	if tiny.P50 != 1e-9 || tiny.Max != 1e-9 {
 		t.Errorf("sub-grid population must clamp to exact extremes: %+v", tiny)
 	}
-	huge := histFrom([]float64{1e7}).percentiles()
+	huge := histFrom([]float64{1e7}).Percentiles()
 	if huge.P99 != 1e7 {
 		t.Errorf("super-grid population must clamp to exact max: %+v", huge)
 	}
@@ -131,8 +132,67 @@ func TestHistogramMonotone(t *testing.T) {
 	for i := 1; i < len(tr.Requests); i++ {
 		gaps = append(gaps, tr.Requests[i].Arrival-tr.Requests[i-1].Arrival)
 	}
-	p := histFrom(gaps).percentiles()
+	p := histFrom(gaps).Percentiles()
 	if !(p.P50 <= p.P95 && p.P95 <= p.P99 && p.P99 <= p.Max) {
 		t.Errorf("percentiles not monotone: %+v", p)
+	}
+}
+
+// TestHistMergePreservesPopulation is the merge property test: splitting
+// one population across k histograms in any interleaving and merging
+// them back must preserve Count and Max exactly, the mean to within
+// floating-point summation order, and every percentile bit-identically
+// (bucket counts add exactly on the shared grid).
+func TestHistMergePreservesPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4000)
+		k := 1 + rng.Intn(7)
+		var whole Hist
+		parts := make([]Hist, k)
+		for i := 0; i < n; i++ {
+			// Log-uniform samples spanning the grid, quantized to 2^-20 so
+			// partial sums are exact in float64 and the mean check is
+			// order-independent.
+			x := math.Exp(rng.Float64()*20 - 10)
+			x = math.Round(x*(1<<20)) / (1 << 20)
+			if x == 0 {
+				x = 1.0 / (1 << 20)
+			}
+			whole.Add(x)
+			parts[rng.Intn(k)].Add(x)
+		}
+		var merged Hist
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		got, want := merged.Percentiles(), whole.Percentiles()
+		if got.Count != want.Count {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, got.Count, want.Count)
+		}
+		if got.Max != want.Max {
+			t.Fatalf("trial %d: merged max %v, want %v", trial, got.Max, want.Max)
+		}
+		if got.Mean != want.Mean {
+			t.Fatalf("trial %d: merged mean %v, want %v", trial, got.Mean, want.Mean)
+		}
+		if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+			t.Fatalf("trial %d: merged percentiles %+v, want %+v", trial, got, want)
+		}
+	}
+}
+
+// TestHistMergeEmpty covers the merge identities: empty-into-populated
+// and populated-into-empty.
+func TestHistMergeEmpty(t *testing.T) {
+	var a, b, empty Hist
+	a.Add(0.5)
+	a.Merge(&empty)
+	if a.Count() != 1 {
+		t.Errorf("merging empty changed count to %d", a.Count())
+	}
+	b.Merge(&a)
+	if got := b.Percentiles(); got != a.Percentiles() {
+		t.Errorf("merge into empty: %+v != %+v", got, a.Percentiles())
 	}
 }

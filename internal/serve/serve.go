@@ -88,10 +88,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// bucketCtx rounds a token count up to the CtxBucket boundary, clamped to
+// BucketCtx rounds a token count up to the CtxBucket boundary, clamped to
 // the model's context window (the validation invariant guarantees no
-// request exceeds it).
-func (c Config) bucketCtx(n int) int {
+// request exceeds it). A zero CtxBucket (an un-defaulted Config) leaves n
+// unrounded; callers outside the scheduler (internal/fleet's demand
+// estimator) should default CtxBucket first so their step shapes land on
+// the same quantized grid the scheduler prices.
+func (c Config) BucketCtx(n int) int {
 	b := c.CtxBucket
 	if b > 1 {
 		n = (n + b - 1) / b * b
@@ -232,7 +235,7 @@ type scheduler struct {
 	qhead  int        // queue's consumed prefix
 	active []int32    // running decode batch
 
-	ttft, tpot, lat histogram
+	ttft, tpot, lat Hist
 
 	workloads map[stepShape]model.Workload
 }
@@ -252,9 +255,9 @@ func getScheduler() *scheduler {
 	sc.queue = sc.queue[:0]
 	sc.qhead = 0
 	sc.active = sc.active[:0]
-	sc.ttft.reset()
-	sc.tpot.reset()
-	sc.lat.reset()
+	sc.ttft.Reset()
+	sc.tpot.Reset()
+	sc.lat.Reset()
 	return sc
 }
 
@@ -324,6 +327,34 @@ func Run(cfg Config, tr Trace) (Report, error) {
 	return RunStream(cfg, tr.Stream())
 }
 
+// RunStats is one serving run with the mergeable raw state a fleet-level
+// caller needs: the Report plus the three latency histograms (on the
+// shared fixed grid, so per-replica populations Merge losslessly) and the
+// absolute simulation-time envelope of the run. RunStream discards these;
+// internal/fleet's router keeps them to assemble one fleet report whose
+// percentiles are computed over every replica's samples, not averaged
+// from per-replica summaries.
+type RunStats struct {
+	// Report is the per-run report, identical to RunStream's.
+	Report Report
+	// TTFT, TPOT and Latency are the run's latency populations.
+	TTFT, TPOT, Latency Hist
+	// FirstArrival and End bound the run in absolute simulated seconds
+	// (End is the last completion). Replicas of one fleet share a clock —
+	// requests keep their original arrival times — so the fleet makespan
+	// is max(End) - min(FirstArrival) across replicas.
+	FirstArrival, End float64
+	// LeakageWatts is the configuration's static power (the last observed
+	// per-step leakage), so a fleet can charge idle replicas for leakage
+	// over the fleet makespan rather than their own shorter one.
+	LeakageWatts float64
+}
+
+// RunStreamStats is RunStream returning the full RunStats.
+func RunStreamStats(cfg Config, src Stream) (RunStats, error) {
+	return runStream(cfg, src)
+}
+
 // RunStream drives a request stream through the continuous-batching
 // scheduler and returns the request-level report. Because requests are
 // pulled lazily and metrics accumulate into fixed-size histograms, memory
@@ -339,16 +370,22 @@ func Run(cfg Config, tr Trace) (Report, error) {
 // pulled from the stream; an invalid request aborts the run with a zero
 // Report.
 func RunStream(cfg Config, src Stream) (Report, error) {
+	st, err := runStream(cfg, src)
+	return st.Report, err
+}
+
+// runStream is the scheduler loop shared by RunStream and RunStreamStats.
+func runStream(cfg Config, src Stream) (RunStats, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Model.Validate(); err != nil {
-		return Report{}, err
+		return RunStats{}, err
 	}
 	total := src.Len()
 	if total == 0 {
-		return Report{}, fmt.Errorf("serve: empty trace")
+		return RunStats{}, fmt.Errorf("serve: empty trace")
 	}
 	if cfg.MaxBatch < 1 {
-		return Report{}, fmt.Errorf("serve: max batch %d must be positive", cfg.MaxBatch)
+		return RunStats{}, fmt.Errorf("serve: max batch %d must be positive", cfg.MaxBatch)
 	}
 	perToken := KVBytesPerToken(cfg.Model)
 	need := func(r Request) int64 { return perToken * int64(r.Prompt+r.Output) }
@@ -385,7 +422,7 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 	pending, havePending := src.Next()
 	if havePending {
 		if err := validate(pending); err != nil {
-			return Report{}, err
+			return RunStats{}, err
 		}
 	}
 	var (
@@ -409,10 +446,10 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 	}
 	complete := func(r *reqState) {
 		kvInUse -= need(r.req)
-		sc.lat.add(now - r.req.Arrival)
-		sc.ttft.add(r.firstAt - r.req.Arrival)
+		sc.lat.Add(now - r.req.Arrival)
+		sc.ttft.Add(r.firstAt - r.req.Arrival)
 		if r.req.Output > 1 {
-			sc.tpot.add((now - r.firstAt) / float64(r.req.Output-1))
+			sc.tpot.Add((now - r.firstAt) / float64(r.req.Output-1))
 		}
 		rep.Completed++
 	}
@@ -429,7 +466,7 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 	for rep.Completed < total {
 		for havePending && pending.Arrival <= now {
 			if err := pull(); err != nil {
-				return Report{}, err
+				return RunStats{}, err
 			}
 		}
 		if q := sc.qlen(); q > rep.PeakQueue {
@@ -437,7 +474,7 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 		}
 		if len(sc.active) == 0 && sc.qlen() == 0 {
 			if !havePending {
-				return Report{}, fmt.Errorf("serve: stream ended after %d of %d requests", rep.Completed, total)
+				return RunStats{}, fmt.Errorf("serve: stream ended after %d of %d requests", rep.Completed, total)
 			}
 			// Idle: jump to the next arrival.
 			now = pending.Arrival
@@ -459,7 +496,7 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 			if kvInUse > rep.PeakKVBytes {
 				rep.PeakKVBytes = kvInUse
 			}
-			step(sc.workload(cfg.Model, false, 1, cfg.bucketCtx(r.req.Prompt)))
+			step(sc.workload(cfg.Model, false, 1, cfg.BucketCtx(r.req.Prompt)))
 			rep.PrefillSteps++
 			r.firstAt = now
 			r.generated = 1
@@ -480,7 +517,7 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 					maxCtx = ctx
 				}
 			}
-			step(sc.workload(cfg.Model, true, len(sc.active), cfg.bucketCtx(maxCtx)))
+			step(sc.workload(cfg.Model, true, len(sc.active), cfg.BucketCtx(maxCtx)))
 			rep.DecodeSteps++
 			batchSum += len(sc.active)
 			remaining := sc.active[:0]
@@ -509,12 +546,19 @@ func RunStream(cfg Config, src Stream) (Report, error) {
 	if rep.DecodeSteps > 0 {
 		rep.MeanBatch = float64(batchSum) / float64(rep.DecodeSteps)
 	}
-	rep.TTFT = sc.ttft.percentiles()
-	rep.TPOT = sc.tpot.percentiles()
-	rep.Latency = sc.lat.percentiles()
+	rep.TTFT = sc.ttft.Percentiles()
+	rep.TPOT = sc.tpot.Percentiles()
+	rep.Latency = sc.lat.Percentiles()
 	rep.TotalEnergy = rep.DynamicEnergy + leakage*rep.Makespan
 	if rep.Completed > 0 {
 		rep.JoulesPerRequest = rep.TotalEnergy / float64(rep.Completed)
 	}
-	return rep, nil
+	// The histograms are copied out before the scheduler returns to the
+	// pool: RunStats owns its populations, the arena is reused.
+	return RunStats{
+		Report: rep,
+		TTFT:   sc.ttft, TPOT: sc.tpot, Latency: sc.lat,
+		FirstArrival: firstArrival, End: now,
+		LeakageWatts: leakage,
+	}, nil
 }

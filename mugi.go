@@ -14,7 +14,10 @@
 //     a 45 nm cost model, and the ACT-style carbon model;
 //   - the workload model (Llama-2, Whisper, SwinV2, ViViT) and the
 //     experiment harness regenerating every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation;
+//   - the request-level serving simulator (traces, continuous batching,
+//     capacity search) and the fleet-level price-performance planner
+//     (multi-replica routing, TCO, Pareto frontiers).
 //
 // See examples/quickstart for a guided tour and DESIGN.md for the system
 // inventory.
@@ -25,6 +28,7 @@ import (
 	"mugi/internal/carbon"
 	"mugi/internal/core"
 	"mugi/internal/experiments"
+	"mugi/internal/fleet"
 	"mugi/internal/infer"
 	"mugi/internal/model"
 	"mugi/internal/noc"
@@ -304,6 +308,98 @@ func FindCapacity(cfg ServeConfig, spec CapacitySpec) (CapacityResult, error) {
 // collects results by index (byte-identical at any parallelism).
 func SearchCapacity(base ServeConfig, cells []CapacityCell, spec CapacitySpec) []CapacityResult {
 	return serve.SearchCapacity(base, cells, spec)
+}
+
+// ---- Fleet planning ----
+
+// FleetPolicy selects how the fleet router assigns requests to replicas.
+type FleetPolicy = fleet.Policy
+
+// The routing policies.
+const (
+	// FleetRoundRobin spreads arrivals blindly in arrival order.
+	FleetRoundRobin = fleet.RoundRobin
+	// FleetJSQ joins the shortest estimated queue (virtual-clock backlog).
+	FleetJSQ = fleet.JSQ
+	// FleetAffinity pins sessions to replicas (prefix-cache routing).
+	FleetAffinity = fleet.Affinity
+)
+
+// ParseFleetPolicy maps "round-robin"/"jsq"/"affinity" to its policy.
+func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetConfig bundles a fleet run: one replica's serving configuration,
+// the replica count, and the routing policy.
+type FleetConfig = fleet.Config
+
+// FleetReport is one fleet run: the merged fleet-level serving report
+// (percentiles over every replica's samples) plus per-replica detail.
+type FleetReport = fleet.Report
+
+// RunFleet routes a request stream across N identical replicas and merges
+// the per-replica runs into one fleet report. Routing, replica execution
+// (sharded via the runner pool), and merging are all deterministic, so
+// the report is byte-identical at any parallelism.
+func RunFleet(cfg FleetConfig, src TraceStream) (FleetReport, error) { return fleet.Run(cfg, src) }
+
+// PriceBook parameterizes the fleet TCO model: $/mm² die capex,
+// electricity tariff, carbon price, PUE, lifetime, and target
+// utilization. The zero value selects calibrated defaults.
+type PriceBook = fleet.PriceBook
+
+// TCO is a priced fleet operating point: capex, burn rate, and the
+// $/1k-requests / $/Mtoken headline splits (capex + energy + carbon).
+type TCO = fleet.TCO
+
+// PriceFleet computes the TCO of a (design, mesh, replicas) fleet at the
+// operating point a fleet report measured.
+func PriceFleet(book PriceBook, d Design, mesh Mesh, replicas int, rep ServeReport) (TCO, error) {
+	return fleet.Price(book, d, mesh, replicas, rep)
+}
+
+// FleetSLO bounds the latency tail a planned fleet must hold (p99 TTFT
+// and/or p99 request latency, seconds; zero disables a bound).
+type FleetSLO = fleet.SLO
+
+// FleetCell is one (design, mesh, replica-count) point of a fleet sweep.
+type FleetCell = fleet.Cell
+
+// FleetGrid builds the designs × meshes × replicas cross-product in
+// deterministic sweep order.
+func FleetGrid(designs []Design, meshes []Mesh, replicas []int) []FleetCell {
+	return fleet.Grid(designs, meshes, replicas)
+}
+
+// FleetPlanSpec parameterizes PlanFleet: the sweep grid, probe traffic,
+// SLO, routing policy, price book, and capacity-search shape.
+type FleetPlanSpec = fleet.PlanSpec
+
+// FleetCellResult is one planned cell: its SLO-compliant capacity, the
+// fleet report at that capacity, and the priced TCO.
+type FleetCellResult = fleet.CellResult
+
+// PlanFleet binary-searches every cell's SLO-compliant capacity and
+// prices it, sharding cells across the runner pool. Results are
+// byte-identical at any parallelism.
+func PlanFleet(spec FleetPlanSpec) []FleetCellResult { return fleet.Plan(spec) }
+
+// FleetFrontierAxis selects the cost axis of FleetFrontier ($/hour burn
+// rate or average watts).
+type FleetFrontierAxis = fleet.FrontierAxis
+
+// The frontier axes.
+const (
+	// FrontierByDollar prunes on the $/hour burn rate (the perf/$ view).
+	FrontierByDollar = fleet.ByDollar
+	// FrontierByWatt prunes on average facility power (the perf/W view).
+	FrontierByWatt = fleet.ByWatt
+)
+
+// FleetFrontier prunes dominated cells and returns the price-performance
+// frontier sorted by ascending cost: the cheapest way to buy each next
+// increment of SLO-compliant throughput.
+func FleetFrontier(results []FleetCellResult, axis FleetFrontierAxis) []FleetCellResult {
+	return fleet.Frontier(results, axis)
 }
 
 // ---- Carbon ----

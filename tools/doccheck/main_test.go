@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture writes a one-file package and parses it back.
+func fixture(t *testing.T, src string) map[string]*ast.File {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, _, err := parsePackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestPackageDocDetection(t *testing.T) {
+	if packageHasDoc(fixture(t, "package x\n\nfunc F() {}\n")) {
+		t.Error("undocumented package reported as documented")
+	}
+	if !packageHasDoc(fixture(t, "// Package x does x.\npackage x\n")) {
+		t.Error("documented package reported as undocumented")
+	}
+}
+
+func TestExportedDocDetection(t *testing.T) {
+	src := `// Package mugi fixture.
+package mugi
+
+// Documented is fine.
+func Documented() {}
+
+func Naked() {}
+
+// Grouped constants are covered by the group comment.
+const (
+	A = 1
+	B = 2
+)
+
+type Bare struct{}
+
+// T is documented; its undocumented exported method should flag.
+type T struct{}
+
+func (T) M() {}
+
+func (T) ok() {} // unexported method: ignored
+`
+	var got []string
+	checkExportedDocs(fixture(t, src), func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	})
+	want := []string{"Naked", "Bare", "M"}
+	if len(got) != len(want) {
+		t.Fatalf("violations %v, want mentions of %v", got, want)
+	}
+	for _, name := range want {
+		found := false
+		for _, v := range got {
+			if strings.Contains(v, name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions %s: %v", name, got)
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the real check over the repository root —
+// the same gate `make lint` applies — so a PR that strips godoc fails
+// here before CI.
+func TestRepositoryIsClean(t *testing.T) {
+	root := "../.."
+	for _, dir := range packageDirs(root) {
+		files, pkgName, err := parsePackage(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		if !packageHasDoc(files) {
+			t.Errorf("%s: package %s has no package doc comment", dir, pkgName)
+		}
+	}
+}
