@@ -31,7 +31,7 @@ bench:
 # bounded-allocation serving path exceeds its budget. CI runs the same
 # emitter with -benchiters 1 as a smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR5.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR6.json
 
 # Godoc coverage gate: every package and every exported facade symbol
 # documented. A prerequisite of both lint and docs-check; make dedupes

@@ -38,30 +38,31 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_PR5.json schema.
+// benchFile is the BENCH_PR6.json schema.
 type benchFile struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
 	// Baseline carries the previous PR's recorded measurements (same
 	// shapes, same machine class) so the file documents the trajectory it
 	// gates, not just the current numbers.
-	Baseline   []benchRecord `json:"baseline_pr4"`
+	Baseline   []benchRecord `json:"baseline_pr5"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// baselinePR4 is the pre-PR trajectory: the measurements recorded in
-// BENCH_PR4.json at the PR 4 commit, carried forward so BENCH_PR5.json
-// stays self-contained. The fleet_plan kernel is new in PR 5 and has no
-// baseline entry.
-var baselinePR4 = []benchRecord{
-	{Name: "vlp_gemm_8x512x512", Iters: 30, NsPerOp: 1631035, AllocsPerOp: 0},
-	{Name: "decode_step", Iters: 512, NsPerOp: 282577, AllocsPerOp: 0},
-	{Name: "proxy_loss", Iters: 14, NsPerOp: 7414541, AllocsPerOp: 0},
-	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1110, AllocsPerOp: 4},
-	{Name: "serve_poisson_cold", Iters: 171, NsPerOp: 492874, AllocsPerOp: 374},
-	{Name: "serve_poisson_warm", Iters: 234, NsPerOp: 371850, AllocsPerOp: 2},
-	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11457777468, AllocsPerOp: 6},
-	{Name: "capacity_search", Iters: 10, NsPerOp: 10477087, AllocsPerOp: 1589},
+// baselinePR5 is the pre-PR trajectory: the measurements recorded in
+// BENCH_PR5.json at the PR 5 commit, carried forward so BENCH_PR6.json
+// stays self-contained. The autoscale_week kernel is new in PR 6 and has
+// no baseline entry.
+var baselinePR5 = []benchRecord{
+	{Name: "vlp_gemm_8x512x512", Iters: 63, NsPerOp: 1579802.2857142857, AllocsPerOp: 0},
+	{Name: "decode_step", Iters: 512, NsPerOp: 268651.939453125, AllocsPerOp: 0},
+	{Name: "proxy_loss", Iters: 14, NsPerOp: 7242642.5, AllocsPerOp: 0},
+	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1089.2515, AllocsPerOp: 4},
+	{Name: "serve_poisson_cold", Iters: 196, NsPerOp: 498217.35204081633, AllocsPerOp: 374},
+	{Name: "serve_poisson_warm", Iters: 269, NsPerOp: 367778.6579925651, AllocsPerOp: 2},
+	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11775373855, AllocsPerOp: 6},
+	{Name: "capacity_search", Iters: 10, NsPerOp: 10121962.3, AllocsPerOp: 1590},
+	{Name: "fleet_plan", Iters: 2, NsPerOp: 40382401, AllocsPerOp: 3492},
 }
 
 // perfKernel is one measurable hot path.
@@ -216,6 +217,18 @@ func perfKernels() []perfKernel {
 		Iters:  3,
 	}
 
+	// Autoscale week: the full static-vs-dynamic comparison — always-on
+	// JSQ fleet, then the online controller (power states, boot lag,
+	// DVFS) — over a simulated week of diurnal arrivals, cold cache.
+	autoCfg := mugi.AutoscaleConfig{
+		Replica:     mugi.ServeConfig{Model: mugi.Llama2_7B, Design: mugi.NewMugi(256), Mesh: mugi.NewMesh(4, 4)},
+		MaxReplicas: 4,
+	}
+	autoTrace := mugi.TraceConfig{
+		Kind: mugi.TraceDiurnal, Rate: 0.02, Requests: int(0.02 * 7 * 86400),
+		Seed: 42, Period: 86400,
+	}
+
 	return []perfKernel{
 		{
 			name:      "vlp_gemm_8x512x512",
@@ -312,6 +325,27 @@ func perfKernels() []perfKernel {
 			},
 		},
 		{
+			name: "autoscale_week",
+			// One comparison is seconds of work (12k requests on both
+			// sides plus calibration probes). The controller allocates per
+			// run (prescan counts, windows, reports) and per cache miss,
+			// never per tick or per request: the budget sits well under
+			// one alloc per request (~6.2k measured cold for 12k requests).
+			fixedIters:   1,
+			maxAllocRuns: 1,
+			maxAllocs:    8_000,
+			op: func() {
+				mugi.ResetSimCache()
+				cmp, err := mugi.CompareAutoscale(autoCfg, autoTrace)
+				if err != nil {
+					panic(err)
+				}
+				if cmp.Dynamic.Completed != autoTrace.Requests {
+					panic(fmt.Sprintf("autoscale_week completed %d", cmp.Dynamic.Completed))
+				}
+			},
+		},
+		{
 			name: "fleet_plan",
 			// The planner allocates per probe (routed schedules, reports,
 			// frontier copies) but never per scheduler step: the budget is
@@ -350,7 +384,7 @@ func seedFill(data []float32, std float64) {
 // It returns an error if any zero-allocation path allocated.
 func runPerfJSON(path string, iters, parallel int) error {
 	runner.SetParallelism(parallel)
-	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR4}
+	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR5}
 	var regressions []string
 	for _, k := range perfKernels() {
 		rec := measure(k, iters)

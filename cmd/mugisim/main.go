@@ -2,7 +2,8 @@
 // mesh) point with the Table-3 style metrics and latency breakdown, a
 // request-level serving scenario with -serve, a capacity search with
 // -capacity, a fleet plan (TCO + price-performance frontiers) with
-// -fleet, or — with -all — the full experiment registry fanned across the
+// -fleet, a static-vs-online autoscaling comparison with -autoscale, or
+// — with -all — the full experiment registry fanned across the
 // concurrent sweep runner.
 //
 // Usage:
@@ -12,6 +13,7 @@
 //	mugisim -serve -mesh 4x4 -rate 0.5 -requests 48 -trace bursty
 //	mugisim -capacity -designs mugi,saf -meshes 1x1,2x2,4x4 -parallel 8
 //	mugisim -fleet -designs mugi,saf -meshes 1x1,2x2 -replicas 1,2,4 -policy jsq
+//	mugisim -autoscale                  # static plan vs online controller, one week
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
 //
 // See docs/CLI.md for the full flag reference and recipes.
@@ -41,6 +43,7 @@ var usageGroups = []cliusage.Group{
 	{Title: "request-level serving (-serve)", Flags: []string{"serve", "trace", "rate", "requests", "seed", "lengths", "maxbatch", "kvbudget"}},
 	{Title: "capacity search (-capacity)", Flags: []string{"capacity", "designs", "meshes"}},
 	{Title: "fleet planning (-fleet)", Flags: []string{"fleet", "replicas", "policy", "slo-ttft", "slo-latency", "utilization"}},
+	{Title: "fleet autoscaling (-autoscale)", Flags: []string{"autoscale", "week", "max-replicas", "min-replicas"}},
 	{Title: "full registry (-all)", Flags: []string{"all"}},
 	{Title: "shared"},
 }
@@ -68,10 +71,14 @@ func main() {
 	meshesCSV := flag.String("meshes", "1x1,2x2,4x4", "comma-separated meshes for -capacity/-fleet")
 	fleetMode := flag.Bool("fleet", false, "plan fleets: SLO capacity, TCO, and price-performance frontiers")
 	replicasCSV := flag.String("replicas", "1,2,4", "comma-separated replica counts for -fleet")
-	policyName := flag.String("policy", "jsq", "fleet routing policy: round-robin|jsq|affinity")
+	policyName := flag.String("policy", "jsq", "fleet routing policy (round-robin|jsq|affinity) or, with -autoscale, scaling policy (target-util|queue|oracle)")
 	sloTTFT := flag.Float64("slo-ttft", 60, "fleet SLO: p99 TTFT bound in seconds (0 = unbounded)")
 	sloLatency := flag.Float64("slo-latency", 300, "fleet SLO: p99 latency bound in seconds (0 = unbounded)")
 	utilization := flag.Float64("utilization", 0, "fleet TCO target utilization in (0,1] (0 = default 0.6)")
+	autoscaleMode := flag.Bool("autoscale", false, "compare the static fleet plan against the online autoscaler (power states + DVFS)")
+	week := flag.Bool("week", true, "autoscale horizon: a simulated week (false = one day)")
+	maxReplicas := flag.Int("max-replicas", 0, "autoscale: owned replica ceiling (0 = size from the static plan)")
+	minReplicas := flag.Int("min-replicas", 1, "autoscale: always-warm replica floor")
 	flag.Usage = cliusage.Grouped(flag.CommandLine,
 		"mugisim — architecture, serving, capacity, and fleet simulations.\nUsage: mugisim [mode flag] [flags]",
 		usageGroups)
@@ -79,6 +86,38 @@ func main() {
 
 	if *all {
 		runAll(*parallel)
+		return
+	}
+	if *autoscaleMode {
+		// The autoscale demo has its own sensible defaults (a diurnal
+		// trace on a multi-replica-worthy mesh at a rate with a real
+		// day/night swing); flags the user set explicitly always win.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["trace"] {
+			*traceKind = "diurnal"
+		}
+		if !set["model"] {
+			*modelName = "Llama 2 7B"
+		}
+		if !set["mesh"] {
+			*meshStr = "4x4"
+		}
+		if !set["rate"] {
+			*rate = 0.1
+		}
+		if !set["policy"] {
+			*policyName = "target-util"
+		}
+		if !set["seed"] {
+			*traceSeed = 42
+		}
+		if !set["requests"] {
+			*requests = 0 // sized from the rate and horizon below
+		}
+		runAutoscale(*design, *rows, *meshStr, *modelName, *traceKind, *lengths,
+			*policyName, *rate, *requests, *traceSeed, *maxBatch, *kvBudgetGB,
+			*week, *maxReplicas, *minReplicas, *sloTTFT, *sloLatency, *parallel)
 		return
 	}
 	if *capacityMode {
@@ -287,6 +326,98 @@ func runFleet(designsCSV, meshesCSV, replicasCSV string, rows int, modelName, tr
 				f.Design, f.Mesh, f.Replicas, f.Capacity, f.TCO.DollarsPerHour, f.TCO.AvgWatts)
 		}
 	}
+}
+
+// runAutoscale compares the static fleet plan against the online
+// autoscaler on one long diurnal trace: first size the owned fleet the
+// way PR 5's planner would buy it (the cheapest replica count whose
+// SLO-compliant capacity covers the peak rate), then run the same
+// stream through the always-on baseline and the dynamic controller and
+// report both in $/day and SLO-violation minutes.
+func runAutoscale(designName string, rows int, meshStr, modelName, traceKind, lengths,
+	policyName string, rate float64, requests int, seed int64, maxBatch int, kvBudgetGB float64,
+	week bool, maxReplicas, minReplicas int, sloTTFT, sloLatency float64, parallel int) {
+	d, err := buildDesign(designName, rows)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := model.ByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	mesh, err := parseMesh(meshStr)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := mugi.ParseAutoscalePolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	if parallel != 0 {
+		runner.SetParallelism(parallel)
+	}
+	horizon := 86400.0
+	if week {
+		horizon *= 7
+	}
+	if requests == 0 {
+		// Over whole diurnal periods the mean rate is the nominal rate,
+		// so this request count spans the horizon.
+		requests = int(rate * horizon)
+	}
+	replica := mugi.ServeConfig{
+		Model: m, Design: d, Mesh: mesh,
+		MaxBatch: maxBatch, KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+	}
+	// Peak arrival rate the static plan must cover: the top of the
+	// diurnal swing (TraceConfig's default swing is 0.8), or the nominal
+	// rate for flat arrival processes.
+	peak := rate
+	if kind == mugi.TraceDiurnal {
+		peak = rate * 1.8
+	}
+	if maxReplicas == 0 {
+		results := mugi.PlanFleet(mugi.FleetPlanSpec{
+			Base:   replica,
+			Cells:  mugi.FleetGrid([]mugi.Design{d}, []mugi.Mesh{mesh}, []int{1, 2, 4, 8}),
+			Policy: mugi.FleetJSQ,
+			Trace:  mugi.TraceConfig{Kind: mugi.TracePoisson, Requests: 24, Seed: seed, Lengths: profile},
+			SLO:    mugi.FleetSLO{TTFTP99: sloTTFT, LatencyP99: sloLatency},
+		})
+		for _, res := range results {
+			if res.Err == nil && res.Capacity >= peak {
+				maxReplicas = res.Replicas
+				fmt.Printf("static plan: %d x %s %s covers the %.3f req/s peak (cell capacity %.4f req/s)\n",
+					res.Replicas, res.Design, res.Mesh, peak, res.Capacity)
+				break
+			}
+		}
+		if maxReplicas == 0 {
+			fatal(fmt.Errorf("no planned cell covers the %.3f req/s peak; raise -max-replicas or shrink -rate", peak))
+		}
+	}
+	cmp, err := mugi.CompareAutoscale(mugi.AutoscaleConfig{
+		Replica:     replica,
+		MinReplicas: minReplicas,
+		MaxReplicas: maxReplicas,
+		Policy:      policy,
+		SLO:         mugi.AutoscaleSLO{TTFT: sloTTFT, Latency: sloLatency},
+	}, mugi.TraceConfig{
+		Kind: kind, Rate: rate, Requests: requests, Seed: seed,
+		Lengths: profile, Period: 86400,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(cmp.String())
 }
 
 // runAll regenerates the full registry on the bounded worker pool and

@@ -1,0 +1,54 @@
+// Command autoscaling walks the online fleet autoscaler end to end: it
+// replays one simulated day of diurnal Llama 2 7B chat traffic against a
+// 4-replica Mugi (256) 4x4 fleet twice — once with every replica pinned
+// on at nominal voltage/frequency (the static PR-5-style plan) and once
+// under each online scaling policy, which boots and drains replicas and
+// shifts the survivors down the DVFS ladder as load swings — then prints
+// both sides in $/day and SLO-violation minutes.
+//
+// Run with:
+//
+//	go run ./examples/autoscaling
+package main
+
+import (
+	"fmt"
+
+	"mugi"
+)
+
+func main() {
+	cfg := mugi.AutoscaleConfig{
+		Replica: mugi.ServeConfig{
+			Model:  mugi.Llama2_7B,
+			Design: mugi.NewMugi(256),
+			Mesh:   mugi.NewMesh(4, 4),
+		},
+		MaxReplicas: 4,
+	}
+	// One simulated day: the diurnal rate swings +-80% around 0.05 req/s
+	// over a 24 h period, so the fleet is oversized at night and tight at
+	// the midday peak.
+	trace := mugi.TraceConfig{
+		Kind:     mugi.TraceDiurnal,
+		Rate:     0.05,
+		Requests: int(0.05 * 86400),
+		Seed:     42,
+		Period:   86400,
+	}
+
+	fmt.Println("static plan vs online autoscaling, one simulated day:")
+	for _, policy := range mugi.AutoscalePolicies() {
+		cfg.Policy = policy
+		cmp, err := mugi.CompareAutoscale(cfg, trace)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			continue
+		}
+		d := cmp.Dynamic
+		fmt.Printf("  %-12s $%.4f/day vs static $%.4f/day (%.1f%% saved)  slo %.0f min  mean active %.2f  %d ups %d downs %d dvfs\n",
+			policy.Name(), d.Day.DollarsPerDay, cmp.Static.Day.DollarsPerDay,
+			100*cmp.SavingsPct, d.ViolationMinutes, d.MeanActiveReplicas,
+			d.ScaleUps, d.ScaleDowns, d.DVFSShifts)
+	}
+}

@@ -1,0 +1,945 @@
+// Package autoscale is the online fleet controller: it drives the
+// diurnal/bursty arrival traces of internal/serve against a fleet whose
+// replicas have power states — off, booting, idle, active — and
+// voltage–frequency operating points (internal/arch's DVFSPoint), under
+// a pluggable scaling policy. Where internal/fleet answers the *static*
+// question ("what fleet should I buy?"), autoscale answers the *online*
+// one ("what should the fleet I bought be doing at 4am?"): replicas
+// power off when demand ebbs, boot with a realistic scale-up lag when it
+// returns, drain their in-flight batch before shutting down, and shift
+// down the DVFS ladder when headroom allows, trading step latency (∝1/f)
+// for joules per op (∝V²).
+//
+// The controller is a serial discrete-event loop — arrivals, round
+// completions, boot completions and fixed-width policy ticks — over the
+// same pure step costs the serving scheduler prices, so a run is
+// byte-identical at any runner parallelism, including under the race
+// detector. Per-replica scheduling reproduces internal/serve's
+// Orca-style continuous batching exactly: a replica's "round" admits
+// queued requests while batch slots and KV budget allow (one prefill
+// pass each), then runs one padded decode step for the running batch at
+// the longest bucketed context.
+//
+// Compare runs the same trace through the static PR 5 plan (every owned
+// replica always on, at full speed) and through the controller, and
+// prices both sides in $/day and SLO-violation minutes (fleet.PriceDay,
+// serve.Windows) — the honest two-number comparison docs/AUTOSCALING.md
+// walks through.
+package autoscale
+
+import (
+	"fmt"
+	"sync"
+
+	"mugi/internal/arch"
+	"mugi/internal/fleet"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/runner"
+	"mugi/internal/serve"
+	"mugi/internal/sim"
+)
+
+// Controller defaults.
+const (
+	// DefaultTick is the policy decision interval in simulated seconds.
+	DefaultTick = 60.0
+	// DefaultScaleUpLag is the off→ready boot latency in seconds —
+	// image pull, weight load, cache warm — the cost a reactive policy
+	// pays that the oracle does not.
+	DefaultScaleUpLag = 120.0
+	// DefaultMaxReplicas bounds the fleet when the caller does not.
+	DefaultMaxReplicas = 4
+	// MaxControllerReplicas is the hard ceiling on a controller fleet, a
+	// mistyped-flag guard like fleet.MaxReplicas.
+	MaxControllerReplicas = 256
+)
+
+// SLO is the per-request service-level objective the windowed accounting
+// judges: a completed request violates if its TTFT or its total latency
+// exceeds the bound (zero disables a bound). A window containing a
+// violating request is a violated window; violated windows × width are
+// the report's SLO-violation minutes.
+type SLO struct {
+	// TTFT bounds arrival→first-token, in seconds.
+	TTFT float64
+	// Latency bounds arrival→last-token, in seconds.
+	Latency float64
+}
+
+// DefaultSLO matches the planner CLI's defaults: 60 s to first token,
+// 300 s to completion.
+func DefaultSLO() SLO { return SLO{TTFT: 60, Latency: 300} }
+
+// PowerState is one replica's position in the power-state machine (the
+// diagram in docs/AUTOSCALING.md): Off ↔ Booting → Idle ↔ Active →
+// Draining → Off.
+type PowerState int
+
+const (
+	// Off: powered down, zero watts, must boot (ScaleUpLag) to serve.
+	Off PowerState = iota
+	// Booting: powering up; leaks at nominal idle power, serves nothing.
+	Booting
+	// Idle: ready, leaking at its DVFS point's static power, no work.
+	Idle
+	// Active: running rounds (admissions + decode steps).
+	Active
+	// Draining: finishing its in-flight batch, admitting nothing; powers
+	// off when the batch drains, or returns to Active if scaled back up.
+	Draining
+)
+
+// String names the state for renderings.
+func (s PowerState) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Booting:
+		return "booting"
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config bundles one controller run.
+type Config struct {
+	// Replica is the per-replica serving configuration at the *nominal*
+	// operating point (model, design, mesh, batch cap, KV budget). Its
+	// DVFS and Observe fields must be zero — the controller owns both.
+	Replica serve.Config
+	// MinReplicas is the floor the policy may never drain below
+	// (default 1; must be ≥ 1 so queued work always has an owner).
+	MinReplicas int
+	// MaxReplicas is the owned fleet size — the capex the deployment
+	// bought and the ceiling the policy may scale to (default
+	// DefaultMaxReplicas, max MaxControllerReplicas).
+	MaxReplicas int
+	// Tick is the policy decision interval in seconds (default
+	// DefaultTick).
+	Tick float64
+	// ScaleUpLag is the off→ready boot latency in seconds (default
+	// DefaultScaleUpLag; negative: boots are instant).
+	ScaleUpLag float64
+	// Ladder is the DVFS ladder, fastest first; Ladder[0] must be the
+	// nominal point (default arch.DVFSLadder).
+	Ladder []arch.DVFSPoint
+	// Policy decides the target replica count and operating point each
+	// tick (default TargetUtilization{}).
+	Policy Policy
+	// SLO judges per-request violations for the windowed accounting
+	// (default DefaultSLO).
+	SLO SLO
+	// WindowWidth slices the timeline for SLO-violation minutes
+	// (default serve.DefaultWindowWidth).
+	WindowWidth float64
+	// Book prices the run (zero value: every fleet.PriceBook default).
+	Book fleet.PriceBook
+}
+
+// withDefaults materializes the zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.MinReplicas == 0 {
+		c.MinReplicas = 1
+	}
+	if c.MaxReplicas == 0 {
+		c.MaxReplicas = DefaultMaxReplicas
+	}
+	if c.Tick == 0 {
+		c.Tick = DefaultTick
+	}
+	if c.ScaleUpLag == 0 {
+		c.ScaleUpLag = DefaultScaleUpLag
+	} else if c.ScaleUpLag < 0 {
+		c.ScaleUpLag = 0
+	}
+	if c.Ladder == nil {
+		c.Ladder = arch.DVFSLadder()
+	}
+	if c.Policy == nil {
+		c.Policy = TargetUtilization{}
+	}
+	if c.SLO == (SLO{}) {
+		c.SLO = DefaultSLO()
+	}
+	if c.WindowWidth == 0 {
+		c.WindowWidth = serve.DefaultWindowWidth
+	}
+	if c.Replica.Mesh.Nodes() == 0 {
+		c.Replica.Mesh = noc.Single
+	}
+	return c
+}
+
+// Report is one controller run.
+type Report struct {
+	// Model, Design, Mesh, Trace, Policy identify the scenario.
+	Model, Design, Mesh string
+	Trace               serve.TraceInfo
+	Policy              string
+
+	// Requests and Completed count the trace (equal on return).
+	Requests, Completed int
+	// Horizon is the simulated span in seconds (trace start to last
+	// completion).
+	Horizon float64
+	// MinReplicas and MaxReplicas echo the config bounds.
+	MinReplicas, MaxReplicas int
+
+	// TTFT and Latency are request-level percentiles over the whole run.
+	TTFT, Latency serve.Percentiles
+	// Windows is the windowed SLO accounting; ViolationMinutes is its
+	// headline number.
+	Windows          *serve.Windows
+	ViolationMinutes float64
+
+	// PrefillSteps/DecodeSteps/MeanBatch mirror serve.Report.
+	PrefillSteps, DecodeSteps int
+	MeanBatch                 float64
+	// PeakQueue is the controller queue's high-water mark.
+	PeakQueue int
+
+	// Ticks counts policy decisions; ScaleUps/ScaleDowns count replica
+	// power-up and power-down transitions the policy initiated;
+	// DVFSShifts counts per-replica operating-point changes.
+	Ticks, ScaleUps, ScaleDowns, DVFSShifts int
+
+	// ActiveSeconds, IdleSeconds, BootSeconds and OffSeconds partition
+	// replica-seconds (MaxReplicas × Horizon) by power state.
+	ActiveSeconds, IdleSeconds, BootSeconds, OffSeconds float64
+	// MeanActiveReplicas is ActiveSeconds / Horizon.
+	MeanActiveReplicas float64
+
+	// DynamicEnergy, LeakageEnergy and TotalEnergy are the run's IT
+	// joules: per-step switching energy, per-state static energy
+	// (booting and idle replicas leak, off replicas do not), and their
+	// sum.
+	DynamicEnergy, LeakageEnergy, TotalEnergy float64
+
+	// Day prices the run per wall-clock day: capex for every owned
+	// (MaxReplicas) replica, energy and carbon for the joules drawn.
+	Day fleet.DayCost
+	// PerReplicaRate is the calibrated full-speed single-replica
+	// capacity (req/s) the policies reason with.
+	PerReplicaRate float64
+}
+
+// request is one in-flight request in the controller's pooled arena.
+type reqState struct {
+	req       serve.Request
+	generated int
+	firstAt   float64
+}
+
+// stepShape keys the workload memo, exactly as in internal/serve.
+type stepShape struct {
+	model  model.Config
+	decode bool
+	batch  int
+	ctx    int
+}
+
+// replica is one replica's controller-side state.
+type replica struct {
+	state     PowerState
+	point     int     // ladder index applied from the next round on
+	busy      bool    // a round is in flight until busyUntil
+	busyUntil float64 // round end (valid while busy)
+	bootReady float64 // boot completion (valid while Booting)
+	accrued   float64 // wall clock up to which static power is billed
+	kvInUse   int64
+	active    []int32 // running batch: arena indices
+}
+
+// controller is the pooled run state.
+type controller struct {
+	states []reqState
+	free   []int32
+	queue  []int32
+	qhead  int
+	reps   []replica
+
+	params   []sim.Params // per ladder point
+	idleLeak []float64    // static watts per ladder point
+
+	tickArrivals []int // prescanned arrivals per tick window
+
+	ttft, lat serve.Hist
+
+	workloads map[stepShape]model.Workload
+}
+
+var ctrlPool = sync.Pool{
+	New: func() any {
+		return &controller{workloads: make(map[stepShape]model.Workload)}
+	},
+}
+
+// getController borrows a reset controller; the workload memo survives
+// resets deliberately (shapes are config-keyed and reusable forever).
+func getController(replicas int) *controller {
+	c := ctrlPool.Get().(*controller)
+	c.states = c.states[:0]
+	c.free = c.free[:0]
+	c.queue = c.queue[:0]
+	c.qhead = 0
+	if cap(c.reps) < replicas {
+		c.reps = make([]replica, replicas)
+	} else {
+		c.reps = c.reps[:replicas]
+	}
+	for i := range c.reps {
+		act := c.reps[i].active
+		if act == nil {
+			act = []int32{}
+		}
+		c.reps[i] = replica{active: act[:0]}
+	}
+	c.params = c.params[:0]
+	c.idleLeak = c.idleLeak[:0]
+	c.tickArrivals = c.tickArrivals[:0]
+	c.ttft.Reset()
+	c.lat.Reset()
+	return c
+}
+
+// alloc places a request in the arena and returns its index.
+func (c *controller) alloc(r serve.Request) int32 {
+	if n := len(c.free); n > 0 {
+		idx := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.states[idx] = reqState{req: r}
+		return idx
+	}
+	c.states = append(c.states, reqState{req: r})
+	return int32(len(c.states) - 1)
+}
+
+func (c *controller) release(idx int32) { c.free = append(c.free, idx) }
+
+func (c *controller) qlen() int { return len(c.queue) - c.qhead }
+
+// qpush/qpop/qpeek: the amortized-O(1) FIFO of internal/serve.
+func (c *controller) qpush(idx int32) {
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	} else if c.qhead > 32 && c.qhead > len(c.queue)/2 {
+		n := copy(c.queue, c.queue[c.qhead:])
+		c.queue = c.queue[:n]
+		c.qhead = 0
+	}
+	c.queue = append(c.queue, idx)
+}
+
+func (c *controller) qpeek() int32 { return c.queue[c.qhead] }
+
+func (c *controller) qpop() int32 {
+	idx := c.queue[c.qhead]
+	c.qhead++
+	return idx
+}
+
+// workload memoizes operator-list construction per quantized step shape.
+func (c *controller) workload(m model.Config, decode bool, batch, ctx int) model.Workload {
+	k := stepShape{model: m, decode: decode, batch: batch, ctx: ctx}
+	if w, ok := c.workloads[k]; ok {
+		return w
+	}
+	var w model.Workload
+	if decode {
+		w = m.DecodeOps(batch, ctx)
+	} else {
+		w = m.PrefillOps(batch, ctx)
+	}
+	c.workloads[k] = w
+	return w
+}
+
+// calibrate measures the full-speed single-replica capacity the policies
+// reason with: a short deterministic capacity search on the trace's own
+// length profile and seed.
+func calibrate(cfg Config, tc serve.TraceConfig) (float64, error) {
+	res, err := serve.FindCapacity(cfg.Replica, serve.CapacitySpec{
+		Trace: serve.TraceConfig{
+			Kind: serve.Poisson, Requests: 24, Seed: tc.Seed, Lengths: tc.Lengths,
+		},
+		Iters: 3,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Capacity <= 0 {
+		return 0, fmt.Errorf("autoscale: replica has no measurable capacity")
+	}
+	return res.Capacity, nil
+}
+
+// Run drives the trace through the controller and returns the report.
+// The whole loop is serial — arrivals, round ends, boot completions and
+// policy ticks are processed in deterministic order at each event time —
+// so the report is byte-identical at any runner parallelism. Step costs
+// go through the replica's StepFunc (default runner.Simulate, memoized),
+// and steady-state ticks allocate nothing on top of the warmed step.
+func Run(cfg Config, tc serve.TraceConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	if err := validateConfig(cfg); err != nil {
+		return Report{}, err
+	}
+	perReplicaRate, err := calibrate(cfg, tc)
+	if err != nil {
+		return Report{}, err
+	}
+	c := getController(cfg.MaxReplicas)
+	defer ctrlPool.Put(c)
+
+	rep, err := c.run(cfg, tc, perReplicaRate)
+	if err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// validateConfig checks the controller-specific invariants.
+func validateConfig(cfg Config) error {
+	if cfg.Replica.Observe != nil {
+		return fmt.Errorf("autoscale: Replica.Observe must be nil — the controller owns the hook")
+	}
+	if !cfg.Replica.DVFS.IsNominal() {
+		return fmt.Errorf("autoscale: Replica.DVFS must be nominal — the controller owns the operating point")
+	}
+	if cfg.MinReplicas < 1 {
+		return fmt.Errorf("autoscale: min replicas %d must be at least 1", cfg.MinReplicas)
+	}
+	if cfg.MaxReplicas < cfg.MinReplicas || cfg.MaxReplicas > MaxControllerReplicas {
+		return fmt.Errorf("autoscale: max replicas %d outside [%d, %d]", cfg.MaxReplicas, cfg.MinReplicas, MaxControllerReplicas)
+	}
+	if cfg.Tick <= 0 {
+		return fmt.Errorf("autoscale: tick %g must be positive", cfg.Tick)
+	}
+	if len(cfg.Ladder) == 0 || !cfg.Ladder[0].IsNominal() {
+		return fmt.Errorf("autoscale: ladder must be non-empty with the nominal point first")
+	}
+	return nil
+}
+
+// prescan draws the trace once to count arrivals per tick window (the
+// oracle's foreknowledge and everyone's NextArrivalRate) and to bound
+// the horizon for window reservation.
+func (c *controller) prescan(cfg Config, tc serve.TraceConfig) (lastArrival float64, err error) {
+	src, err := serve.NewStream(tc)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		i := int(r.Arrival / cfg.Tick)
+		for len(c.tickArrivals) <= i {
+			c.tickArrivals = append(c.tickArrivals, 0)
+		}
+		c.tickArrivals[i]++
+		lastArrival = r.Arrival
+	}
+	return lastArrival, nil
+}
+
+// run is the event loop. See the package comment for the scheduling
+// semantics; the invariants are (1) every state change happens at a
+// single event time, with boots, arrivals, round ends, the policy tick
+// and the work scan processed in that fixed order, and (2) all step
+// bookkeeping (admission, energy, completions) happens at round *start*,
+// with busyUntil marking when the results become visible.
+func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float64) (Report, error) {
+	mdl := cfg.Replica.Model
+	if err := mdl.Validate(); err != nil {
+		return Report{}, err
+	}
+	stepFn := cfg.Replica.Simulate
+	if stepFn == nil {
+		stepFn = runner.Simulate
+	}
+	maxBatch := cfg.Replica.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = serve.DefaultMaxBatch
+	}
+	kvBudget := cfg.Replica.KVBudgetBytes
+	if kvBudget == 0 {
+		kvBudget = serve.DefaultKVBudgetBytes
+	}
+	bucket := cfg.Replica
+	if bucket.CtxBucket == 0 {
+		bucket.CtxBucket = serve.DefaultCtxBucket
+	}
+
+	// Per-ladder-point simulation params and idle static power. A busy or
+	// idle replica at point i leaks idleLeak[i]; a booting replica leaks
+	// at the nominal point (index 0) — it is powering up the full rail.
+	nodes := cfg.Replica.Mesh.SpeedupFactor()
+	for _, p := range cfg.Ladder {
+		c.params = append(c.params, sim.Params{
+			Design: cfg.Replica.Design, Mesh: cfg.Replica.Mesh,
+			Bandwidth: cfg.Replica.Bandwidth, NoCBandwidth: cfg.Replica.NoCBandwidth,
+			DVFS: p,
+		})
+		cost := arch.Cost45nm.AtDVFS(p)
+		c.idleLeak = append(c.idleLeak,
+			cfg.Replica.Design.LeakageWatts(cost)*nodes+cfg.Replica.Mesh.LeakageWatts(cost))
+	}
+
+	lastArrival, err := c.prescan(cfg, tc)
+	if err != nil {
+		return Report{}, err
+	}
+	src, err := serve.NewStream(tc)
+	if err != nil {
+		return Report{}, err
+	}
+	total := src.Len()
+
+	rep := Report{
+		Model: mdl.Name, Design: cfg.Replica.Design.Name, Mesh: cfg.Replica.Mesh.String(),
+		Trace: src.Info(), Policy: cfg.Policy.Name(),
+		Requests: total, MinReplicas: cfg.MinReplicas, MaxReplicas: cfg.MaxReplicas,
+		PerReplicaRate: perReplicaRate,
+	}
+	wins := serve.NewWindows(serve.WindowSpec{Width: cfg.WindowWidth, TTFT: cfg.SLO.TTFT, Latency: cfg.SLO.Latency})
+	wins.Reserve(lastArrival)
+	rep.Windows = wins
+
+	perToken := serve.KVBytesPerToken(mdl)
+	need := func(r serve.Request) int64 { return perToken * int64(r.Prompt+r.Output) }
+	validate := func(r serve.Request) error {
+		if r.Prompt < 1 || r.Output < 1 {
+			return fmt.Errorf("autoscale: request %d has empty prompt or output", r.ID)
+		}
+		if mdl.MaxSeq > 0 && r.Prompt+r.Output-1 > mdl.MaxSeq {
+			return fmt.Errorf("autoscale: request %d spans %d tokens, model %q holds %d", r.ID, r.Prompt+r.Output, mdl.Name, mdl.MaxSeq)
+		}
+		if need(r) > kvBudget {
+			return fmt.Errorf("autoscale: request %d needs %d KV bytes, budget %d", r.ID, need(r), kvBudget)
+		}
+		return nil
+	}
+
+	var (
+		now        float64
+		batchSum   int
+		busyTick   float64 // busy replica-seconds attributed to the current tick
+		arrivals   int     // arrivals in the current tick
+		dynEnergy  float64
+		leakEnergy float64
+	)
+
+	// accrue bills one replica's static power and state-seconds up to t.
+	// A busy replica's clock already sits at its round end (startRound
+	// bills the whole span up front), which can be *ahead* of t — never
+	// rewind it, or the tail of the round would be billed twice.
+	accrue := func(rp *replica, t float64) {
+		if t <= rp.accrued {
+			return
+		}
+		dt := t - rp.accrued
+		rp.accrued = t
+		switch rp.state {
+		case Off:
+			rep.OffSeconds += dt
+		case Booting:
+			rep.BootSeconds += dt
+			leakEnergy += c.idleLeak[0] * dt
+		case Idle:
+			rep.IdleSeconds += dt
+			leakEnergy += c.idleLeak[rp.point] * dt
+		case Active, Draining:
+			// Busy spans are accrued at round start (below); an
+			// Active/Draining replica is between rounds only
+			// instantaneously.
+			rep.ActiveSeconds += dt
+			leakEnergy += c.idleLeak[rp.point] * dt
+		}
+	}
+
+	complete := func(rp *replica, st *reqState, doneAt float64) {
+		rp.kvInUse -= need(st.req)
+		c.lat.Add(doneAt - st.req.Arrival)
+		c.ttft.Add(st.firstAt - st.req.Arrival)
+		wins.Observe(st.req, st.firstAt, doneAt)
+		rep.Completed++
+	}
+
+	// startRound runs one scheduler round on rp beginning at t: admit
+	// (Active only) with one prefill pass per admission, then one padded
+	// decode step. All costs and completions are computed here; the
+	// round's wall span [t, end] is what the replica is busy for.
+	startRound := func(rp *replica, t float64) {
+		start := t
+		pt := rp.point
+		if rp.state == Active {
+			for c.qlen() > 0 && len(rp.active) < maxBatch {
+				st := &c.states[c.qpeek()]
+				if rp.kvInUse+need(st.req) > kvBudget {
+					break
+				}
+				idx := c.qpop()
+				rp.kvInUse += need(st.req)
+				res := stepFn(c.params[pt], c.workload(mdl, false, 1, bucket.BucketCtx(st.req.Prompt)))
+				t += res.Seconds
+				dynEnergy += res.DynamicEnergy
+				rep.PrefillSteps++
+				st.firstAt = t
+				st.generated = 1
+				if st.generated == st.req.Output {
+					complete(rp, st, t)
+					c.release(idx)
+				} else {
+					rp.active = append(rp.active, idx)
+				}
+			}
+		}
+		if len(rp.active) > 0 {
+			maxCtx := 0
+			for _, idx := range rp.active {
+				st := &c.states[idx]
+				if ctx := st.req.Prompt + st.generated; ctx > maxCtx {
+					maxCtx = ctx
+				}
+			}
+			res := stepFn(c.params[pt], c.workload(mdl, true, len(rp.active), bucket.BucketCtx(maxCtx)))
+			t += res.Seconds
+			dynEnergy += res.DynamicEnergy
+			rep.DecodeSteps++
+			batchSum += len(rp.active)
+			remaining := rp.active[:0]
+			for _, idx := range rp.active {
+				st := &c.states[idx]
+				st.generated++
+				if st.generated >= st.req.Output {
+					complete(rp, st, t)
+					c.release(idx)
+				} else {
+					remaining = append(remaining, idx)
+				}
+			}
+			rp.active = remaining
+		}
+		if t > start {
+			rp.busy = true
+			rp.busyUntil = t
+			busyTick += t - start
+			rep.ActiveSeconds += t - start
+			leakEnergy += c.idleLeak[pt] * (t - start)
+			rp.accrued = t
+		}
+	}
+
+	// Initial fleet: MinReplicas idle and warm at t=0 (a deployment
+	// starts provisioned), the rest off.
+	for i := range c.reps {
+		if i < cfg.MinReplicas {
+			c.reps[i].state = Idle
+		}
+	}
+
+	pending, havePending := src.Next()
+	if havePending {
+		if err := validate(pending); err != nil {
+			return Report{}, err
+		}
+	}
+	nextTick := cfg.Tick
+	tickIdx := 0 // index of the window ending at nextTick
+
+	countStates := func() (ready, booting, draining, inflight int) {
+		for i := range c.reps {
+			switch c.reps[i].state {
+			case Idle, Active:
+				ready++
+			case Booting:
+				booting++
+			case Draining:
+				draining++
+			}
+			inflight += len(c.reps[i].active)
+		}
+		return
+	}
+
+	for rep.Completed < total {
+		// Next event time: the earliest of pending arrival, any boot
+		// completion, any round end, and the policy tick.
+		t := nextTick
+		if havePending && pending.Arrival < t {
+			t = pending.Arrival
+		}
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.state == Booting && rp.bootReady < t {
+				t = rp.bootReady
+			}
+			if rp.busy && rp.busyUntil < t {
+				t = rp.busyUntil
+			}
+		}
+		now = t
+
+		// 1. Boot completions.
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.state == Booting && rp.bootReady <= now {
+				accrue(rp, now)
+				rp.state = Idle
+			}
+		}
+		// 2. Arrivals.
+		for havePending && pending.Arrival <= now {
+			arrivals++
+			c.qpush(c.alloc(pending))
+			if q := c.qlen(); q > rep.PeakQueue {
+				rep.PeakQueue = q
+			}
+			pending, havePending = src.Next()
+			if havePending {
+				if err := validate(pending); err != nil {
+					return Report{}, err
+				}
+			}
+		}
+		// 3. Round ends become visible.
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.busy && rp.busyUntil <= now {
+				rp.busy = false
+			}
+		}
+		// 4. Policy tick.
+		if now >= nextTick {
+			ready, booting, draining, inflight := countStates()
+			obs := Observation{
+				Now: now, Tick: cfg.Tick,
+				QueueLen: c.qlen(), InFlight: inflight,
+				Ready: ready, Booting: booting, Draining: draining,
+				Powered:     ready + booting,
+				MinReplicas: cfg.MinReplicas, MaxReplicas: cfg.MaxReplicas,
+				BatchCap: maxBatch, Ladder: cfg.Ladder,
+				ArrivalRate:    float64(arrivals) / cfg.Tick,
+				ReplicaRate:    perReplicaRate,
+				PerReplicaRate: perReplicaRate,
+			}
+			if ready > 0 {
+				obs.Utilization = busyTick / (float64(ready) * cfg.Tick)
+			}
+			if n := tickIdx + 1; n < len(c.tickArrivals) {
+				obs.NextArrivalRate = float64(c.tickArrivals[n]) / cfg.Tick
+			}
+			dec := cfg.Policy.Decide(obs)
+			c.apply(cfg, dec, now, accrue, &rep)
+			busyTick = 0
+			arrivals = 0
+			rep.Ticks++
+			tickIdx++
+			nextTick += cfg.Tick
+		}
+		// 5. Work scan, in replica-index order.
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.busy {
+				continue
+			}
+			switch rp.state {
+			case Draining:
+				if len(rp.active) > 0 {
+					startRound(rp, now)
+				} else {
+					accrue(rp, now)
+					rp.state = Off
+				}
+			case Active:
+				if len(rp.active) > 0 || c.qlen() > 0 {
+					startRound(rp, now)
+				} else {
+					accrue(rp, now)
+					rp.state = Idle
+				}
+			case Idle:
+				if c.qlen() > 0 {
+					accrue(rp, now)
+					rp.state = Active
+					startRound(rp, now)
+				}
+			}
+		}
+	}
+
+	// Close every replica's accrual at the end of the run. A still-busy
+	// replica's final round is already billed through its round end;
+	// extend the horizon to cover it, then bill everyone's tail state.
+	for i := range c.reps {
+		if rp := &c.reps[i]; rp.busy && rp.busyUntil > now {
+			now = rp.busyUntil
+		}
+	}
+	for i := range c.reps {
+		accrue(&c.reps[i], now)
+	}
+
+	rep.Horizon = now
+	rep.TTFT = c.ttft.Percentiles()
+	rep.Latency = c.lat.Percentiles()
+	rep.ViolationMinutes = wins.ViolationMinutes()
+	if rep.DecodeSteps > 0 {
+		rep.MeanBatch = float64(batchSum) / float64(rep.DecodeSteps)
+	}
+	if rep.Horizon > 0 {
+		rep.MeanActiveReplicas = rep.ActiveSeconds / rep.Horizon
+	}
+	rep.DynamicEnergy = dynEnergy
+	rep.LeakageEnergy = leakEnergy
+	rep.TotalEnergy = dynEnergy + leakEnergy
+	day, err := fleet.PriceDay(cfg.Book, cfg.Replica.Design, cfg.Replica.Mesh,
+		cfg.MaxReplicas, rep.TotalEnergy, rep.Horizon)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Day = day
+	return rep, nil
+}
+
+// apply executes one policy decision: un-drain, boot, drain or power
+// off replicas toward the target, and move every powered replica to the
+// chosen operating point. Selection order is deterministic: scale-up
+// revives draining replicas (lowest index first — they are warm), then
+// boots off replicas; scale-down cancels boots first, then drains idle
+// replicas, then active ones, highest index first.
+func (c *controller) apply(cfg Config, dec Decision, now float64,
+	accrue func(*replica, float64), rep *Report) {
+	target := dec.Replicas
+	if target < cfg.MinReplicas {
+		target = cfg.MinReplicas
+	}
+	if target > cfg.MaxReplicas {
+		target = cfg.MaxReplicas
+	}
+	point := 0
+	for i, p := range cfg.Ladder {
+		if p == dec.Point {
+			point = i
+			break
+		}
+	}
+
+	powered := 0
+	for i := range c.reps {
+		switch c.reps[i].state {
+		case Booting, Idle, Active:
+			powered++
+		}
+	}
+
+	for powered < target {
+		// Revive a draining replica first: it is warm and serving its
+		// tail already.
+		revived := false
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.state == Draining {
+				accrue(rp, now)
+				rp.state = Active
+				powered++
+				rep.ScaleUps++
+				revived = true
+				break
+			}
+		}
+		if revived {
+			continue
+		}
+		booted := false
+		for i := range c.reps {
+			rp := &c.reps[i]
+			if rp.state == Off {
+				accrue(rp, now)
+				if dec.InstantBoot || cfg.ScaleUpLag == 0 {
+					rp.state = Idle
+				} else {
+					rp.state = Booting
+					rp.bootReady = now + cfg.ScaleUpLag
+				}
+				rp.point = point
+				powered++
+				rep.ScaleUps++
+				booted = true
+				break
+			}
+		}
+		if !booted {
+			break // everything is already powered or draining
+		}
+	}
+
+	for powered > target {
+		victim := -1
+		// Cancel a boot first (nothing in flight), then drain the
+		// highest-index idle replica, then the highest-index active one.
+		for i := len(c.reps) - 1; i >= 0; i-- {
+			if c.reps[i].state == Booting {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			for i := len(c.reps) - 1; i >= 0; i-- {
+				if c.reps[i].state == Idle {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			for i := len(c.reps) - 1; i >= 0; i-- {
+				if c.reps[i].state == Active {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		rp := &c.reps[victim]
+		accrue(rp, now)
+		switch rp.state {
+		case Booting, Idle:
+			// Nothing in flight: straight to off. (An idle replica by
+			// definition has an empty batch.)
+			rp.state = Off
+		case Active:
+			rp.state = Draining
+		}
+		powered--
+		rep.ScaleDowns++
+	}
+
+	// Move every powered replica to the decided operating point. Busy
+	// replicas finish their in-flight round at the old point (the round
+	// was priced when it started); accrual boundaries keep idle leakage
+	// billed at the right rate on both sides of the shift.
+	for i := range c.reps {
+		rp := &c.reps[i]
+		switch rp.state {
+		case Idle, Active, Draining:
+			if rp.point != point {
+				accrue(rp, now)
+				rp.point = point
+				rep.DVFSShifts++
+			}
+		}
+	}
+}

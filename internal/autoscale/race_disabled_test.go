@@ -1,0 +1,7 @@
+//go:build !race
+
+package autoscale
+
+// raceEnabled gates allocation assertions: the race detector randomizes
+// sync.Pool reuse, so pooled paths legitimately allocate under -race.
+const raceEnabled = false

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"mugi/internal/arch"
+	"mugi/internal/autoscale"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/serve"
+)
+
+// Autoscale evaluates the online fleet controller: the same diurnal
+// arrival stream served by the static always-on fleet and by the
+// dynamic controller under each scaling policy, priced per day. The
+// trace compresses a day into one hour so the experiment regenerates in
+// seconds; the week-scale run lives in `mugisim -autoscale` and the
+// autoscale_week benchmark kernel.
+func Autoscale() *Report {
+	r := &Report{ID: "autoscale", Title: "Online autoscaling: power states + DVFS vs the static plan"}
+	cfg := autoscale.Config{
+		Replica: serve.Config{
+			Model:  model.Llama2_7B,
+			Design: arch.Mugi(256),
+			Mesh:   noc.NewMesh(4, 4),
+		},
+		MaxReplicas: 4,
+		// The compressed day needs a compressed controller: decide every
+		// 10 simulated seconds, boot in 20.
+		Tick:       10,
+		ScaleUpLag: 20,
+	}
+	tc := serve.TraceConfig{
+		Kind: serve.Diurnal, Rate: 0.5, Requests: 1800,
+		Seed: servingSeed, Period: 3600,
+	}
+	r.Printf("model %s on %s %s, %d replicas owned, diurnal rate %.2f req/s (period %.0fs, %d requests)",
+		cfg.Replica.Model.Name, cfg.Replica.Design.Name, cfg.Replica.Mesh, cfg.MaxReplicas,
+		tc.Rate, tc.Period, tc.Requests)
+	r.Printf("%-12s %10s %10s %9s %9s %8s %7s %6s",
+		"policy", "$/day", "slo min", "active", "off", "ups", "downs", "dvfs")
+	var static *autoscale.StaticReport
+	for _, p := range autoscale.Policies() {
+		cfg.Policy = p
+		cmp, err := autoscale.Compare(cfg, tc)
+		if err != nil {
+			r.Printf("%-12s ERROR %v", p.Name(), err)
+			continue
+		}
+		if static == nil {
+			static = &cmp.Static
+			r.Printf("%-12s %10.4f %10.1f %9s %9s %8s %7s %6s",
+				"static", cmp.Static.Day.DollarsPerDay, cmp.Static.ViolationMinutes,
+				"-", "-", "-", "-", "-")
+		}
+		d := cmp.Dynamic
+		r.Printf("%-12s %10.4f %10.1f %9.0f %9.0f %8d %7d %6d",
+			p.Name(), d.Day.DollarsPerDay, d.ViolationMinutes,
+			d.ActiveSeconds, d.OffSeconds, d.ScaleUps, d.ScaleDowns, d.DVFSShifts)
+	}
+	if static != nil {
+		r.Printf("static baseline leaks %.0f J over %.0f s; every policy's savings come out of that leakage plus DVFS v² scaling",
+			static.TotalEnergy, static.Horizon)
+	}
+	return r
+}

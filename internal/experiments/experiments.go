@@ -70,6 +70,7 @@ func Registry() []Entry {
 		{"serve", "Extension: request-level serving under traffic", Serving},
 		{"capacity", "Extension: capacity search (max sustained req/s)", Capacity},
 		{"fleet", "Extension: fleet planner (TCO + price-performance frontiers)", Fleet},
+		{"autoscale", "Extension: online autoscaling with DVFS power states", Autoscale},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
-		"moe", "online", "serve", "capacity", "fleet"}
+		"moe", "online", "serve", "capacity", "fleet", "autoscale"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -60,6 +60,12 @@ type Config struct {
 	// AffinitySessions is the session population for the Affinity policy
 	// (default DefaultAffinitySessions).
 	AffinitySessions int
+	// Window, when its Width is positive, turns on windowed SLO
+	// accounting: each replica accumulates per-window violation stats
+	// through serve.Config.Observe and Run merges them (in index order)
+	// into Report.Windows. Requires Replica.Observe to be nil — the
+	// router owns the hook.
+	Window serve.WindowSpec
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -80,9 +86,13 @@ type Report struct {
 	// replica's samples (the per-replica histograms merge losslessly on
 	// the shared grid), not averaged from per-replica summaries; its
 	// Makespan spans the whole fleet (first arrival anywhere to last
-	// completion anywhere); its TotalEnergy charges every replica's
-	// leakage over that full fleet makespan, so an idle replica is not
-	// free. PeakKVBytes sums per-replica peaks (a provisioning bound);
+	// completion anywhere); its TotalEnergy charges each replica's
+	// leakage over that replica's own busy span (first routed arrival to
+	// last completion) — a replica that finishes early, or was never
+	// routed to, stops burning static power when its work ends. Callers
+	// comparing against an always-on deployment (internal/autoscale's
+	// static baseline) must add the idle-span leakage themselves.
+	// PeakKVBytes sums per-replica peaks (a provisioning bound);
 	// PeakQueue is the worst single replica's backlog.
 	Fleet serve.Report
 	// Replicas holds the per-replica reports, indexed by replica id. A
@@ -92,6 +102,9 @@ type Report struct {
 	Routed []int
 	// Policy is the routing policy the run used.
 	Policy Policy
+	// Windows is the merged windowed SLO accounting (nil unless
+	// Config.Window was enabled).
+	Windows *serve.Windows
 }
 
 // String renders the fleet report deterministically: the merged report
@@ -126,6 +139,9 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	if cfg.Replicas < 1 || cfg.Replicas > MaxReplicas {
 		return Report{}, fmt.Errorf("fleet: replica count %d outside [1, %d]", cfg.Replicas, MaxReplicas)
 	}
+	if cfg.Window.Width > 0 && cfg.Replica.Observe != nil {
+		return Report{}, fmt.Errorf("fleet: Config.Window and Replica.Observe are mutually exclusive")
+	}
 	perReplica, firstArrival, lastArrival, err := route(cfg, src)
 	if err != nil {
 		return Report{}, err
@@ -134,11 +150,23 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 
 	stats := make([]serve.RunStats, cfg.Replicas)
 	errs := make([]error, cfg.Replicas)
+	var wins []*serve.Windows
+	if cfg.Window.Width > 0 {
+		wins = make([]*serve.Windows, cfg.Replicas)
+	}
 	runner.Map(cfg.Replicas, func(i int) {
 		if len(perReplica[i]) == 0 {
 			return
 		}
-		stats[i], errs[i] = serve.RunStreamStats(cfg.Replica, &replicaStream{info: info, rs: perReplica[i]})
+		rcfg := cfg.Replica
+		if wins != nil {
+			// Each shard observes into its own accumulator; the merge
+			// below reads them in index order, keeping the output
+			// parallelism-independent.
+			wins[i] = serve.NewWindows(cfg.Window)
+			rcfg.Observe = wins[i].Observe
+		}
+		stats[i], errs[i] = serve.RunStreamStats(rcfg, &replicaStream{info: info, rs: perReplica[i]})
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -155,16 +183,20 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 		ttft, tpot, lat serve.Hist
 		end             float64
 		batchSum        float64
-		leakage         float64
+		leakEnergy      float64
 	)
+	if wins != nil {
+		out.Windows = serve.NewWindows(cfg.Window)
+	}
 	fl := &out.Fleet
 	fl.Trace = info
 	for i := range stats {
 		out.Routed[i] = len(perReplica[i])
 		if len(perReplica[i]) == 0 {
-			// Idle replicas still occupy silicon: their leakage and capex
-			// are charged below like everyone else's.
-			leakage += idleLeakage(cfg.Replica)
+			// A replica that served nothing burns no busy-span leakage
+			// here; its silicon still costs capex (Price charges every
+			// owned replica), and always-on deployments charge its idle
+			// leakage at the caller (see Report.Fleet).
 			continue
 		}
 		rep := stats[i].Report
@@ -186,13 +218,20 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 		fl.KVQueuedRequests += rep.KVQueuedRequests
 		fl.DynamicEnergy += rep.DynamicEnergy
 		fl.NoCLimitedSteps += rep.NoCLimitedSteps
-		leakage += stats[i].LeakageWatts
+		// Busy-span leakage: this replica's static power over its own
+		// first-arrival-to-last-completion span, not the fleet makespan —
+		// a replica that drains early stops leaking into the bill, which
+		// keeps static-vs-autoscaled $/day comparisons apples-to-apples.
+		leakEnergy += stats[i].LeakageWatts * (stats[i].End - stats[i].FirstArrival)
 		if stats[i].End > end {
 			end = stats[i].End
 		}
 		ttft.Merge(&stats[i].TTFT)
 		tpot.Merge(&stats[i].TPOT)
 		lat.Merge(&stats[i].Latency)
+		if wins != nil {
+			out.Windows.Merge(wins[i])
+		}
 	}
 	if lastArrival > 0 {
 		fl.OfferedRate = float64(fl.Requests) / lastArrival
@@ -208,26 +247,24 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	fl.TTFT = ttft.Percentiles()
 	fl.TPOT = tpot.Percentiles()
 	fl.Latency = lat.Percentiles()
-	fl.TotalEnergy = fl.DynamicEnergy + leakage*fl.Makespan
+	fl.TotalEnergy = fl.DynamicEnergy + leakEnergy
 	if fl.Completed > 0 {
 		fl.JoulesPerRequest = fl.TotalEnergy / float64(fl.Completed)
 	}
 	return out, nil
 }
 
-// idleLeakage is the static power of a replica that served nothing: its
-// silicon still exists for the whole fleet makespan.
-func idleLeakage(cfg serve.Config) float64 {
-	mesh := cfg.Mesh
-	if mesh.Nodes() == 0 {
-		mesh = noc.Single
-	}
-	return replicaAreaMM2(cfg.Design, mesh) * arch.Cost45nm.LeakagePerMM2
+// ReplicaLeakageWatts is the static power of one idle replica at the
+// nominal operating point: its full silicon (nodes plus NoC routers)
+// leaking. internal/autoscale uses it to charge an always-on baseline
+// for the idle spans fleet.Run no longer bills.
+func ReplicaLeakageWatts(d arch.Design, mesh noc.Mesh) float64 {
+	return ReplicaAreaMM2(d, mesh) * arch.Cost45nm.LeakagePerMM2
 }
 
-// replicaAreaMM2 is the total silicon of one replica: every node's die
+// ReplicaAreaMM2 is the total silicon of one replica: every node's die
 // plus the NoC routers.
-func replicaAreaMM2(d arch.Design, mesh noc.Mesh) float64 {
+func ReplicaAreaMM2(d arch.Design, mesh noc.Mesh) float64 {
 	if mesh.Nodes() == 0 {
 		mesh = noc.Single
 	}

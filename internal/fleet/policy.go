@@ -91,6 +91,7 @@ func newEstimator(cfg serve.Config) *estimator {
 		params: sim.Params{
 			Design: cfg.Design, Mesh: cfg.Mesh,
 			Bandwidth: cfg.Bandwidth, NoCBandwidth: cfg.NoCBandwidth,
+			DVFS: cfg.DVFS,
 		},
 		step:      step,
 		prefill:   map[int]float64{},

@@ -56,8 +56,10 @@ type PriceBook struct {
 	Utilization float64
 }
 
-// withDefaults materializes the zero-value defaults.
-func (b PriceBook) withDefaults() PriceBook {
+// WithDefaults materializes the zero-value defaults. Price and PriceDay
+// apply it internally; callers that render book parameters use it so
+// implicit and explicit defaults agree.
+func (b PriceBook) WithDefaults() PriceBook {
 	if b.DollarPerMM2 == 0 {
 		b.DollarPerMM2 = DefaultDollarPerMM2
 	}
@@ -130,7 +132,7 @@ func (t TCO) String() string {
 //     embodied CO2e (internal/carbon's ACT-style area model) amortized
 //     like capex, priced at $/tonne.
 func Price(book PriceBook, d arch.Design, mesh noc.Mesh, replicas int, rep serve.Report) (TCO, error) {
-	book = book.withDefaults()
+	book = book.WithDefaults()
 	if replicas < 1 {
 		return TCO{}, fmt.Errorf("fleet: replica count %d must be positive", replicas)
 	}
@@ -140,7 +142,7 @@ func Price(book PriceBook, d arch.Design, mesh noc.Mesh, replicas int, rep serve
 	if rep.SustainedRate <= 0 || rep.Completed == 0 {
 		return TCO{}, fmt.Errorf("fleet: report has no sustained throughput to price")
 	}
-	area := replicaAreaMM2(d, mesh)
+	area := ReplicaAreaMM2(d, mesh)
 	t := TCO{
 		CapexPerReplica: area*book.DollarPerMM2 + book.DollarPerReplicaFixed,
 	}
@@ -169,5 +171,72 @@ func Price(book PriceBook, d arch.Design, mesh noc.Mesh, replicas int, rep serve
 		tokPerReq := float64(rep.OutputTokens) / float64(rep.Completed)
 		t.DollarsPerMTok = t.DollarsPer1k / 1000 / tokPerReq * 1e6
 	}
+	return t, nil
+}
+
+// DayCost is a fleet's owning-and-running cost normalized to one day —
+// the honest single number a static plan and a dynamic autoscaler are
+// compared on (Gray's price/performance lens over time-varying power
+// draw). Capex is charged for every *owned* replica whether or not it
+// was powered (an autoscaler cannot un-buy silicon at night); energy and
+// carbon are charged for the joules actually drawn.
+type DayCost struct {
+	// CapexPerDay amortizes the owned fleet's purchase price over the
+	// book's lifetime.
+	CapexPerDay float64
+	// EnergyPerDay prices the measured facility energy (IT × PUE).
+	EnergyPerDay float64
+	// CarbonPerDay prices operational CO2e on the measured energy plus
+	// the owned silicon's amortized embodied CO2e.
+	CarbonPerDay float64
+	// DollarsPerDay is the sum — the headline comparison number.
+	DollarsPerDay float64
+	// AvgWatts is the average facility power over the horizon.
+	AvgWatts float64
+	// CarbonGramsPerDay is the daily CO2e footprint behind CarbonPerDay.
+	CarbonGramsPerDay float64
+}
+
+// String renders the day sheet deterministically.
+func (t DayCost) String() string {
+	return fmt.Sprintf("$%.4f/day (capex %.4f + energy %.4f + carbon %.4f)  avg %.1f W",
+		t.DollarsPerDay, t.CapexPerDay, t.EnergyPerDay, t.CarbonPerDay, t.AvgWatts)
+}
+
+// PriceDay prices a fleet of owned replicas that drew energyJ IT joules
+// over horizonSeconds of wall clock. Unlike Price, which attributes cost
+// per request at a target utilization, PriceDay normalizes to wall-clock
+// days: it is the right lens when two deployments serve the *same*
+// requests and differ only in what the silicon was doing between them —
+// the static-vs-autoscaled comparison. Both sides own the same replicas
+// (equal capex); the integrated joules carry the difference.
+func PriceDay(book PriceBook, d arch.Design, mesh noc.Mesh, replicas int, energyJ, horizonSeconds float64) (DayCost, error) {
+	book = book.WithDefaults()
+	if replicas < 1 {
+		return DayCost{}, fmt.Errorf("fleet: replica count %d must be positive", replicas)
+	}
+	if horizonSeconds <= 0 {
+		return DayCost{}, fmt.Errorf("fleet: horizon %g must be positive", horizonSeconds)
+	}
+	if energyJ < 0 {
+		return DayCost{}, fmt.Errorf("fleet: energy %g must be non-negative", energyJ)
+	}
+	const day = 86400.0
+	area := ReplicaAreaMM2(d, mesh)
+	capex := (area*book.DollarPerMM2 + book.DollarPerReplicaFixed) * float64(replicas)
+
+	var t DayCost
+	t.CapexPerDay = capex / book.LifetimeSeconds * day
+
+	facilityJ := energyJ * book.PUE
+	t.AvgWatts = facilityJ / horizonSeconds
+	t.EnergyPerDay = facilityJ / horizonSeconds * day * book.ElectricityPerKWh / 3.6e6
+
+	operationalG := carbon.Operational(facilityJ) / horizonSeconds * day
+	embodiedG := carbon.EmbodiedTotal(area*float64(replicas)) / book.LifetimeSeconds * day
+	t.CarbonGramsPerDay = operationalG + embodiedG
+	t.CarbonPerDay = t.CarbonGramsPerDay / 1e6 * book.CarbonPerTonne
+
+	t.DollarsPerDay = t.CapexPerDay + t.EnergyPerDay + t.CarbonPerDay
 	return t, nil
 }

@@ -63,9 +63,21 @@ type Config struct {
 	// NoCBandwidth is the aggregate NoC bandwidth passed to the simulator
 	// (0 = the mesh's provisioned default).
 	NoCBandwidth float64
+	// DVFS is the replica's voltage–frequency operating point, passed
+	// through to sim.Params (zero value: nominal full speed). Slowing the
+	// clock stretches compute-bound steps by 1/f while cheapening every
+	// on-chip op by v² — the autoscaler's latency-for-joules trade.
+	DVFS arch.DVFSPoint
 	// Simulate computes step costs (default runner.Simulate, memoized
 	// through the bounded cache).
 	Simulate StepFunc
+	// Observe, when non-nil, is called once per completed request with its
+	// first-token and completion times (absolute simulated seconds; the
+	// request carries its arrival). internal/fleet and internal/autoscale
+	// feed windowed SLO accounting (Windows) through this without the
+	// scheduler knowing about windows. Calls happen inline in the
+	// scheduler loop in completion order.
+	Observe func(r Request, firstAt, doneAt float64)
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -345,8 +357,10 @@ type RunStats struct {
 	// is max(End) - min(FirstArrival) across replicas.
 	FirstArrival, End float64
 	// LeakageWatts is the configuration's static power (the last observed
-	// per-step leakage), so a fleet can charge idle replicas for leakage
-	// over the fleet makespan rather than their own shorter one.
+	// per-step leakage), so a fleet-level caller can integrate leakage
+	// over whatever span its power model charges (internal/fleet charges
+	// each replica's own busy span; internal/autoscale charges wall-clock
+	// per power state).
 	LeakageWatts float64
 }
 
@@ -408,6 +422,7 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	params := sim.Params{
 		Design: cfg.Design, Mesh: cfg.Mesh,
 		Bandwidth: cfg.Bandwidth, NoCBandwidth: cfg.NoCBandwidth,
+		DVFS: cfg.DVFS,
 	}
 
 	rep := Report{
@@ -450,6 +465,9 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		sc.ttft.Add(r.firstAt - r.req.Arrival)
 		if r.req.Output > 1 {
 			sc.tpot.Add((now - r.firstAt) / float64(r.req.Output-1))
+		}
+		if cfg.Observe != nil {
+			cfg.Observe(r.req, r.firstAt, now)
 		}
 		rep.Completed++
 	}

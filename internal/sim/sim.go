@@ -33,12 +33,23 @@ type Params struct {
 	// mesh's provisioned bandwidth at the cost table's clock). Ignored on
 	// a single node.
 	NoCBandwidth float64
+	// DVFS is the node's voltage–frequency operating point. WithDefaults
+	// folds it into Cost (clock × f, per-op switching energy × v², leakage
+	// × v — see arch.DVFSPoint) and clears the field, so downstream
+	// consumers, including the runner cache's content key, see only the
+	// re-derived cost table. The zero value is the nominal point.
+	DVFS arch.DVFSPoint
 }
 
 // WithDefaults materializes the zero-value defaults (HBM bandwidth, single
-// node, 45 nm cost table). Simulate applies it internally; callers that
-// key or compare Params (internal/runner's cache) use it so an implicit
-// default and its explicit spelling stay interchangeable.
+// node, 45 nm cost table) and folds the DVFS operating point into the
+// cost table. Simulate applies it internally; callers that key or compare
+// Params (internal/runner's cache) use it so an implicit default and its
+// explicit spelling stay interchangeable — and so a DVFS-scaled Params
+// and the equivalent hand-scaled cost table are the same cache entry.
+// Note the off-chip Bandwidth is defaulted before the fold and the NoC's
+// provisioned bandwidth after it: HBM is not on the DVFS rail, while the
+// mesh links clock with the node.
 func (p Params) WithDefaults() Params {
 	if p.Bandwidth == 0 {
 		p.Bandwidth = HBMBandwidth
@@ -49,6 +60,10 @@ func (p Params) WithDefaults() Params {
 	if p.Cost.Frequency == 0 {
 		p.Cost = arch.Cost45nm
 	}
+	if !p.DVFS.IsNominal() {
+		p.Cost = p.Cost.AtDVFS(p.DVFS)
+	}
+	p.DVFS = arch.DVFSPoint{}
 	if p.NoCBandwidth == 0 {
 		p.NoCBandwidth = p.Mesh.ProvisionedBandwidth(p.Cost.Frequency)
 	}

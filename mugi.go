@@ -25,6 +25,7 @@ package mugi
 
 import (
 	"mugi/internal/arch"
+	"mugi/internal/autoscale"
 	"mugi/internal/carbon"
 	"mugi/internal/core"
 	"mugi/internal/experiments"
@@ -400,6 +401,85 @@ const (
 // increment of SLO-compliant throughput.
 func FleetFrontier(results []FleetCellResult, axis FleetFrontierAxis) []FleetCellResult {
 	return fleet.Frontier(results, axis)
+}
+
+// ---- Fleet autoscaling ----
+
+// DVFSPoint is a voltage–frequency operating point: clock scaled by
+// FScale (step latency ∝ 1/f), rail scaled by VScale (dynamic energy ∝
+// V²f). The zero value is nominal full speed.
+type DVFSPoint = arch.DVFSPoint
+
+// DVFSLadder is the default three-point ladder (full, p75, p50),
+// fastest first, each slower point on the 45 nm V(f) = 0.6 + 0.4f line.
+func DVFSLadder() []DVFSPoint { return arch.DVFSLadder() }
+
+// DVFSStep builds a named operating point at the given frequency scale
+// on the default voltage line.
+func DVFSStep(name string, fscale float64) DVFSPoint { return arch.DVFSStep(name, fscale) }
+
+// WindowSpec slices a serving timeline into fixed-width windows and
+// judges per-request SLO bounds inside each — the accounting behind
+// SLO-violation minutes.
+type WindowSpec = serve.WindowSpec
+
+// SLOWindows is the windowed accumulator itself (per-window arrivals,
+// violations, maxima; losslessly mergeable).
+type SLOWindows = serve.Windows
+
+// AutoscaleSLO is the per-request objective the autoscaler's windows
+// judge: TTFT and total-latency bounds in seconds.
+type AutoscaleSLO = autoscale.SLO
+
+// AutoscaleConfig bundles one controller run: the per-replica serving
+// configuration, the owned fleet bounds, the decision tick, the boot
+// lag, the DVFS ladder, the scaling policy, and the price book.
+type AutoscaleConfig = autoscale.Config
+
+// AutoscalePolicy decides the target replica count and operating point
+// each tick (target-utilization hysteresis, queue-depth proportional,
+// or the clairvoyant oracle).
+type AutoscalePolicy = autoscale.Policy
+
+// ParseAutoscalePolicy maps "target-util"/"queue"/"oracle" to its
+// policy.
+func ParseAutoscalePolicy(s string) (AutoscalePolicy, error) { return autoscale.ParsePolicy(s) }
+
+// AutoscalePolicies lists every scaling policy in comparison order.
+func AutoscalePolicies() []AutoscalePolicy { return autoscale.Policies() }
+
+// AutoscaleReport is one controller run: latency percentiles, windowed
+// SLO minutes, replica-seconds by power state, scale events, energy
+// split, and the $/day price.
+type AutoscaleReport = autoscale.Report
+
+// Autoscale drives a trace through the online fleet controller —
+// power-state machine, scale-up lag, drain-on-scale-down, DVFS — and
+// returns the report. Deterministic at any runner parallelism.
+func Autoscale(cfg AutoscaleConfig, tc TraceConfig) (AutoscaleReport, error) {
+	return autoscale.Run(cfg, tc)
+}
+
+// AutoscaleComparison is the static-vs-dynamic verdict on one trace:
+// the always-on baseline and the controller run, both priced per day.
+type AutoscaleComparison = autoscale.Comparison
+
+// CompareAutoscale runs the trace through the always-on static fleet
+// and the dynamic controller and prices both sides ($/day and
+// SLO-violation minutes).
+func CompareAutoscale(cfg AutoscaleConfig, tc TraceConfig) (AutoscaleComparison, error) {
+	return autoscale.Compare(cfg, tc)
+}
+
+// FleetDayCost is a fleet's owning-and-running cost normalized to one
+// day: amortized capex for every owned replica plus the energy and
+// carbon actually drawn.
+type FleetDayCost = fleet.DayCost
+
+// PriceFleetDay prices a fleet of owned replicas that drew energyJ IT
+// joules over horizonSeconds of wall clock, normalized to $/day.
+func PriceFleetDay(book PriceBook, d Design, mesh Mesh, replicas int, energyJ, horizonSeconds float64) (FleetDayCost, error) {
+	return fleet.PriceDay(book, d, mesh, replicas, energyJ, horizonSeconds)
 }
 
 // ---- Carbon ----
