@@ -8,7 +8,7 @@ GO ?= go
 # the same check the workflow runs.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json lint fmt doccheck docs-check ci
+.PHONY: build test race bench bench-json lint fmt doccheck docs-check analyze install-staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -39,15 +39,32 @@ bench-json:
 doccheck:
 	$(GO) run ./tools/doccheck
 
+# STRICT=1 (set by the ci target) turns a missing staticcheck from a
+# skip into a failure, so `make ci` cannot go green without running the
+# same check the workflow runs.
 lint: doccheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$(STRICT)" ]; then \
+		echo "staticcheck is required here; install the pinned version with 'make install-staticcheck'"; \
+		exit 1; \
 	else \
-		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+		echo "staticcheck not installed; skipping ('make ci' fails without it; 'make install-staticcheck' installs $(STATICCHECK_VERSION))"; \
 	fi
+
+# The pinned staticcheck, the one CI runs; a one-time local install.
+install-staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+# The repo's contract linter (docs/ANALYSIS.md): determinism, cache-key,
+# state-machine exhaustiveness and zero-alloc invariants, proven at lint
+# time by tools/mugivet. Zero findings is the gate; waivers in the tree
+# carry their reasons inline.
+analyze:
+	$(GO) run ./tools/mugivet ./...
 
 fmt:
 	gofmt -w .
@@ -58,4 +75,5 @@ fmt:
 docs-check: doccheck
 	$(GO) run ./tools/docscheck
 
-ci: lint build race bench docs-check
+ci: STRICT = 1
+ci: lint build race bench analyze docs-check

@@ -3,6 +3,7 @@ package autoscale
 import (
 	"testing"
 
+	"mugi/internal/raceflag"
 	"mugi/internal/serve"
 )
 
@@ -12,7 +13,7 @@ import (
 // the observe/decide/apply cycles and allocates nothing extra, i.e. the
 // steady-state tick is 0 allocs on top of the warmed scheduler step.
 func TestSteadyStateTickZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("sync.Pool reuse is randomized under the race detector")
 	}
 	tc := serve.TraceConfig{Kind: serve.Diurnal, Rate: 0.5, Requests: 600, Seed: 5, Period: 1800}

@@ -73,7 +73,11 @@ func DefaultSLO() SLO { return SLO{TTFT: 60, Latency: 300} }
 
 // PowerState is one replica's position in the power-state machine (the
 // diagram in docs/AUTOSCALING.md): Off ↔ Booting → Idle ↔ Active →
-// Draining → Off.
+// Draining → Off. Switches over it must be exhaustive — tools/mugivet's
+// exhauststate analyzer fails the lint gate on any switch that could
+// silently ignore a state added later.
+//
+//mugi:exhaustive
 type PowerState int
 
 const (
@@ -666,6 +670,8 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 				booting++
 			case Draining:
 				draining++
+			case Off:
+				// Unpowered: counts toward no pool.
 			}
 			inflight += len(c.reps[i].active)
 		}
@@ -774,6 +780,9 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 					rp.state = Active
 					startRound(rp, now)
 				}
+			case Off, Booting:
+				// No work to scan: Off has nothing resident and Booting
+				// replicas join the fleet at their bootReady event.
 			}
 		}
 	}
@@ -818,6 +827,8 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 // revives draining replicas (lowest index first — they are warm), then
 // boots off replicas; scale-down cancels boots first, then drains idle
 // replicas, then active ones, highest index first.
+//
+//mugi:noalloc
 func (c *controller) apply(cfg Config, dec Decision, now float64,
 	accrue func(*replica, float64), rep *Report) {
 	target := dec.Replicas
@@ -840,6 +851,9 @@ func (c *controller) apply(cfg Config, dec Decision, now float64,
 		switch c.reps[i].state {
 		case Booting, Idle, Active:
 			powered++
+		case Off, Draining:
+			// Off was never powered; Draining is already being charged
+			// down and must not count toward the policy's target.
 		}
 	}
 
@@ -922,6 +936,9 @@ func (c *controller) apply(cfg Config, dec Decision, now float64,
 			rp.state = Off
 		case Active:
 			rp.state = Draining
+		default:
+			// The victim scans above only select Booting, Idle or Active.
+			panic("autoscale: scale-down victim in state " + rp.state.String())
 		}
 		powered--
 		rep.ScaleDowns++
@@ -940,6 +957,9 @@ func (c *controller) apply(cfg Config, dec Decision, now float64,
 				rp.point = point
 				rep.DVFSShifts++
 			}
+		case Off, Booting:
+			// Off has no operating point; a Booting replica keeps the
+			// point it was assigned when its boot was decided.
 		}
 	}
 }

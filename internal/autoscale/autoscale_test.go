@@ -8,6 +8,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/raceflag"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 )
@@ -42,7 +43,7 @@ func weekTrace(rate float64) serve.TraceConfig {
 // arrivals, byte for byte. Any change to the scheduler, the DVFS cost
 // fold, the leakage accounting or the pricing shows up here first.
 func TestCompareGoldenWeek(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("week-long golden is minutes under the race detector; determinism is covered by TestDeterministicAtAnyParallelism")
 	}
 	cmp, err := Compare(baseCfg(), weekTrace(0.02))

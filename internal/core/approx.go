@@ -224,6 +224,8 @@ func (a *Approx) ApproxBatch(dst, xs []float64, rows int) BatchStats {
 // subtraction (E-proc), sliding-window selection on the subtracted values
 // (the operands exp actually sees), VLP exp, accumulation in oAcc, and the
 // reciprocal multiply in the vector array (paper §4.1).
+//
+//mugi:noalloc
 func (a *Approx) Softmax(dst, xs []float64) []float64 {
 	if a.cfg.Op != nonlinear.Exp {
 		panic("core: Softmax requires an exp approximator")

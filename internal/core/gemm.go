@@ -253,8 +253,10 @@ func Multiply(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix) (*tensor.Matrix,
 // per-element accumulation order, only the loop nest is rearranged so code
 // rows stream contiguously and per-group dequant scales are gathered once
 // per call instead of once per output row.
+//
+//mugi:noalloc
 func MultiplyInto(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix, out *tensor.Matrix, scratch *GEMMScratch) GEMMStats {
-	cfg.validate()
+	cfg.validate() //mugi:coldalloc inlined validation panic args; a valid config never takes the branch
 	if cfg.Mapping == MappingCaratFP8 {
 		panic("core: MappingCaratFP8 is a cycle model only (use PlanCycles)")
 	}
@@ -274,7 +276,7 @@ func MultiplyInto(cfg GEMMConfig, a *tensor.Matrix, wq QuantMatrix, out *tensor.
 	if !wq.SharedScales {
 		scaleLen = n * groups
 	}
-	scratch.ensure(n, scaleLen)
+	scratch.ensure(n, scaleLen) //mugi:coldalloc scratch growth on first use; a warmed scratch never re-makes
 	acc, gacc := scratch.acc, scratch.gacc
 	stride := wq.stride()
 	// Gather the dequant scales g-major once per call (they are stored

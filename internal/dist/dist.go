@@ -164,7 +164,7 @@ func ExponentHistogram(xs []float64, minExp int) map[int]float64 {
 		hist[e]++
 		n++
 	}
-	for e := range hist {
+	for e := range hist { //mugi:orderless per-key normalization, no cross-key state
 		hist[e] /= float64(n)
 	}
 	return hist
@@ -178,7 +178,7 @@ func DominantWindow(hist map[int]float64, width int) (lo int, mass float64) {
 		return 0, 0
 	}
 	minE, maxE := math.MaxInt, math.MinInt
-	for e := range hist {
+	for e := range hist { //mugi:orderless exact min/max reduction, commutative in any order
 		if e < minE {
 			minE = e
 		}

@@ -144,7 +144,7 @@ func fmtRatio(v float64) string { return fmt.Sprintf("%.2fx", v) }
 // sortKeys returns sorted map keys (for deterministic rendering).
 func sortKeys[K ~int, V any](m map[K]V) []K {
 	keys := make([]K, 0, len(m))
-	for k := range m {
+	for k := range m { //mugi:orderless keys are sorted below before any consumer sees them
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

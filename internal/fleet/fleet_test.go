@@ -7,6 +7,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/raceflag"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 )
@@ -270,7 +271,7 @@ func TestPlanParallelDeterminism(t *testing.T) {
 // which grow by amortized append — a handful of reallocations, not one
 // per request, and far fewer than the scheduler's step count).
 func TestAllocScaleIndependence(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("allocation counts are unreliable under -race (randomized pool reuse)")
 	}
 	cfg := Config{Replica: testReplica(), Replicas: 2, Policy: JSQ}

@@ -294,12 +294,14 @@ func applyRoPEInv(v []float32, pos int, inv []float64, sin, cos func(float64) fl
 // returns the output logits. The returned slice is the engine's scratch
 // buffer: it stays valid until the next Step call on this engine, so copy
 // it to retain logits across steps. A warmed Step allocates nothing.
+//
+//mugi:noalloc
 func (e *Engine) Step(token int, ops Ops) ([]float64, error) {
 	if token < 0 || token >= e.cfg.Vocab {
-		return nil, fmt.Errorf("infer: token %d outside vocab %d", token, e.cfg.Vocab)
+		return nil, fmt.Errorf("infer: token %d outside vocab %d", token, e.cfg.Vocab) //mugi:coldalloc invalid-token error path; a valid step never reaches it
 	}
 	if e.pos >= e.cfg.MaxSeq {
-		return nil, fmt.Errorf("infer: KV cache full (%d positions)", e.cfg.MaxSeq)
+		return nil, fmt.Errorf("infer: KV cache full (%d positions)", e.cfg.MaxSeq) //mugi:coldalloc cache-full error path; bounded generations never reach it
 	}
 	cfg := e.cfg
 	hd := cfg.HeadDim()

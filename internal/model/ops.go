@@ -7,7 +7,11 @@ import (
 )
 
 // OpClass buckets operators the way the paper's latency/carbon breakdowns
-// do (Figs. 15-16): projection, attention, FFN, and nonlinear.
+// do (Figs. 15-16): projection, attention, FFN, and nonlinear. Switches
+// over it must be exhaustive — tools/mugivet's exhauststate analyzer fails
+// the lint gate on any switch that could silently drop a class added later.
+//
+//mugi:exhaustive
 type OpClass int
 
 const (

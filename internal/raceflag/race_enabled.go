@@ -1,0 +1,7 @@
+//go:build race
+
+package raceflag
+
+// Enabled reports a -race build: allocation assertions should stand
+// down, because the race detector randomizes sync.Pool reuse.
+const Enabled = true

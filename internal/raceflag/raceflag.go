@@ -1,0 +1,11 @@
+// Package raceflag exposes whether the binary was built with the race
+// detector, as a compile-time constant.
+//
+// The allocation-sensitive test suites (runner, serve, fleet, autoscale)
+// assert AllocsPerRun(0) on their pooled hot paths, but the race
+// detector randomizes sync.Pool reuse, so those paths legitimately
+// allocate under -race. Each suite used to carry its own build-tagged
+// raceEnabled constant pair; this package is that pattern factored out
+// once, so a new suite gates its assertions with raceflag.Enabled
+// instead of re-pinning two more files.
+package raceflag

@@ -6,6 +6,7 @@ import (
 
 	"mugi/internal/arch"
 	"mugi/internal/model"
+	"mugi/internal/raceflag"
 	"mugi/internal/sim"
 )
 
@@ -110,9 +111,10 @@ func TestSetCacheCapacityDefault(t *testing.T) {
 // encoder (key.go) to the exact field sets it serializes. If a field is
 // added to model.Workload, model.Op, or model.Config, this test fails
 // until appendWorkloadKey covers it — the guard against two distinct
-// inputs silently aliasing one cache entry. (sim.Params needs no guard:
-// its half of the key renders via fmt %+v, which covers nested fields
-// automatically.)
+// inputs silently aliasing one cache entry. (sim.Params has the same
+// guard at lint time: paramsKey carries a //mugi:cachekey annotation, so
+// tools/mugivet's cachekey analyzer names any field the encoder stops
+// consuming.)
 func TestKeyEncoderCoversEveryField(t *testing.T) {
 	check := func(v any, want []string) {
 		t.Helper()
@@ -160,7 +162,7 @@ func TestKeyEncodingUnambiguous(t *testing.T) {
 // TestSimulateHitAllocationFree: a warmed Simulate hit must not allocate —
 // the property that keeps million-step serving traces allocation-free.
 func TestSimulateHitAllocationFree(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("sync.Pool reuse is randomized under the race detector")
 	}
 	e := New(1)

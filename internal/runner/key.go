@@ -42,18 +42,33 @@ var keyBufPool = sync.Pool{
 	},
 }
 
-// paramsKey renders the sim.Params half of the cache key. Called once per
-// distinct Params value (the result is memoized in Engine.prefixes).
+// paramsKey renders the sim.Params half of the cache key, one field per
+// line so tools/mugivet's cachekey analyzer can name exactly which field
+// a future edit drops. Called once per distinct Params value (the result
+// is memoized in Engine.prefixes). DVFS is always the zero point here —
+// Simulate keys Params after WithDefaults folds it into Cost — but it is
+// encoded anyway so the key stays collision-free even if that fold ever
+// moves.
+//
+//mugi:cachekey sim.Params
 func paramsKey(p sim.Params) string {
 	var b strings.Builder
 	b.Grow(512)
-	fmt.Fprintf(&b, "%+v|%+v|%g|%g|%+v|", p.Design, p.Mesh, p.Bandwidth, p.NoCBandwidth, p.Cost)
+	fmt.Fprintf(&b, "%+v|", p.Design)
+	fmt.Fprintf(&b, "%+v|", p.Mesh)
+	fmt.Fprintf(&b, "%g|", p.Bandwidth)
+	fmt.Fprintf(&b, "%g|", p.NoCBandwidth)
+	fmt.Fprintf(&b, "%+v|", p.Cost)
+	fmt.Fprintf(&b, "%+v|", p.DVFS)
 	return b.String()
 }
 
 // appendWorkloadKey appends the model.Workload half of the cache key.
 // Strings are length-prefixed so no delimiter collision can alias two
 // distinct workloads.
+//
+//mugi:cachekey model.Workload model.Config model.Op
+//mugi:noalloc
 func appendWorkloadKey(b []byte, w *model.Workload) []byte {
 	b = appendKeyString(b, w.Model.Name)
 	b = appendKeyString(b, string(w.Model.Family))

@@ -44,6 +44,8 @@ func (h *Hist) Reset() { *h = Hist{} }
 
 // Add records one sample in seconds. Samples outside the grid clamp to
 // the edge buckets; min/max stay exact regardless.
+//
+//mugi:noalloc
 func (h *Hist) Add(x float64) {
 	h.n++
 	h.sum += x

@@ -273,7 +273,11 @@ func getScheduler() *scheduler {
 	return sc
 }
 
-// alloc places a request in the arena and returns its index.
+// alloc places a request in the arena and returns its index (amortized
+// arena growth via append is not a heap escape; steady state reuses the
+// freelist).
+//
+//mugi:noalloc
 func (sc *scheduler) alloc(r Request) int32 {
 	if n := len(sc.free); n > 0 {
 		idx := sc.free[n-1]
@@ -296,6 +300,8 @@ func (sc *scheduler) qlen() int { return len(sc.queue) - sc.qhead }
 // just when the queue drains), so the backing array stays O(backlog) even
 // on sustained-overload streams whose queue never empties — amortized
 // O(1) per operation.
+//
+//mugi:noalloc
 func (sc *scheduler) qpush(idx int32) {
 	if sc.qhead == len(sc.queue) {
 		sc.queue = sc.queue[:0]
@@ -317,6 +323,8 @@ func (sc *scheduler) qpop() int32 {
 }
 
 // workload memoizes operator-list construction per quantized step shape.
+//
+//mugi:noalloc
 func (sc *scheduler) workload(m model.Config, decode bool, batch, ctx int) model.Workload {
 	k := stepShape{model: m, decode: decode, batch: batch, ctx: ctx}
 	if w, ok := sc.workloads[k]; ok {

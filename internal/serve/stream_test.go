@@ -3,6 +3,8 @@ package serve
 import (
 	"strings"
 	"testing"
+
+	"mugi/internal/raceflag"
 )
 
 // TestStreamMatchesMaterializedTrace: NewStream and NewTrace must yield
@@ -63,7 +65,7 @@ func TestStreamMatchesMaterializedTrace(t *testing.T) {
 // steady-state step is 0 allocs/op. An absolute bound pins the small
 // per-run constant (stream wrapper, closures, report assembly).
 func TestWarmSchedulerStepZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("sync.Pool reuse is randomized under the race detector")
 	}
 	cfg := baseConfig()

@@ -9,7 +9,14 @@
 //     first, so its godoc coverage cannot regress;
 //   - every exported top-level symbol of internal/autoscale carries a doc
 //     comment — the autoscaler is the operator-facing subsystem behind
-//     docs/AUTOSCALING.md, so its godoc coverage is held to the same bar.
+//     docs/AUTOSCALING.md, so its godoc coverage is held to the same bar;
+//   - every exported top-level symbol of tools/mugivet carries a doc
+//     comment — the analyzer framework mirrors x/tools' analysis API
+//     (docs/ANALYSIS.md), and an analyzer suite whose own contracts are
+//     undocumented would be hard to take seriously.
+//
+// Vendored fixture modules under testdata/ are skipped, matching the go
+// tool's treatment of those directories.
 //
 // Exit status is nonzero with one line per violation, so the target works
 // as a CI gate.
@@ -50,9 +57,10 @@ func main() {
 		if !packageHasDoc(files) {
 			report("%s: package %s has no package-level doc comment", dir, pkgName)
 		}
-		// The facade and the operator-facing autoscaler get the
-		// per-symbol pass.
-		if (dir == root && pkgName == "mugi") || pkgName == "autoscale" {
+		// The facade, the operator-facing autoscaler, and the analyzer
+		// suite get the per-symbol pass.
+		if (dir == root && pkgName == "mugi") || pkgName == "autoscale" ||
+			strings.HasSuffix(dir, filepath.Join("tools", "mugivet")) {
 			checkExportedDocs(files, report)
 		}
 	}
@@ -65,7 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented declarations\n", len(violations))
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d packages documented, facade and autoscale fully covered (godoc only — `make docs-check` also validates docs/*.md fences)\n", len(dirs))
+	fmt.Printf("doccheck: %d packages documented; facade, autoscale and mugivet fully covered (godoc only — `make docs-check` also validates docs/*.md fences)\n", len(dirs))
 }
 
 // parsePackage parses every non-test Go file of one directory, keyed by
@@ -105,7 +113,13 @@ func packageDirs(root string) []string {
 			return err
 		}
 		if d.IsDir() {
-			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+			name := d.Name()
+			if name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			// Fixture modules (tools/mugivet/testdata/*) are their own
+			// modules with their own doc conventions.
+			if name == "testdata" {
 				return filepath.SkipDir
 			}
 			return nil

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cachekey: the hand-written sim-cache key encoder consumes every field
+// of the structs it claims to cover.
+//
+// The runner's content-addressed sim cache keys each Simulate call by a
+// hand-written, allocation-free encoding of sim.Params and
+// model.Workload (internal/runner/key.go). A field the encoder skips
+// means two distinct inputs share one cache entry — the PR 2 collision,
+// where the key silently omitted NoCBandwidth and throttled runs aliased
+// healthy ones. The runtime reflection guard catches a *grown* struct;
+// this analyzer also catches a *shrunk* encoder, at compile time, naming
+// the field.
+//
+// An encoder declares its coverage with a directive in its doc comment:
+//
+//	//mugi:cachekey sim.Params
+//	func paramsKey(p sim.Params) string { ... }
+//
+// Every field of every listed struct must appear as a selector
+// (value.Field) somewhere in the function body. Selecting a struct-typed
+// field covers that field (its own fields ride along via %+v-style
+// rendering); the analyzer checks one level, exactly the contract the
+// encoder implements. In package mugi/internal/runner the full contract
+// is also pinned: the four cache-key structs must each be covered by
+// some annotated encoder, so deleting an annotation (or a whole encoder)
+// is itself a finding.
+
+// requiredCachekey pins, per package, the structs that MUST be covered
+// by an annotated encoder somewhere in that package.
+var requiredCachekey = map[string][]string{
+	"mugi/internal/runner": {
+		"mugi/internal/sim.Params",
+		"mugi/internal/model.Workload",
+		"mugi/internal/model.Op",
+		"mugi/internal/model.Config",
+	},
+}
+
+// newCachekey builds the cachekey analyzer (tree-wide scope: the
+// directive itself scopes the work).
+func newCachekey() *Analyzer {
+	return &Analyzer{
+		Name: "cachekey",
+		Doc:  "every field of an annotated struct feeds the //mugi:cachekey encoder that claims it",
+		Run:  runCachekey,
+	}
+}
+
+func runCachekey(pass *Pass) {
+	covered := map[string]bool{} // qualified type name -> seen on some annotation
+	for _, f := range pass.Files {
+		qualifiers := fileQualifiers(pass, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			args, ok := funcDirective(fn, "cachekey")
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(args) == "" {
+				pass.Report(fn.Pos(), "//mugi:cachekey directive names no struct types")
+				continue
+			}
+			for _, name := range strings.Fields(args) {
+				st, qualified, ok := resolveStruct(pass, qualifiers, name)
+				if !ok {
+					pass.Report(fn.Pos(), "//mugi:cachekey %s does not name a struct type visible from this file", name)
+					continue
+				}
+				covered[qualified] = true
+				checkFieldCoverage(pass, fn, st, name)
+			}
+		}
+	}
+	for _, want := range requiredCachekey[pass.Pkg.Path()] {
+		if !covered[want] {
+			pass.Report(pass.Files[0].Package,
+				"package %s must keep a //mugi:cachekey encoder covering %s (the sim-cache key contract)",
+				pass.Pkg.Path(), want)
+		}
+	}
+}
+
+// fileQualifiers maps the package qualifiers usable in one file (import
+// names, honoring renames) to their packages.
+func fileQualifiers(pass *Pass, f *ast.File) map[string]*types.Package {
+	byPath := map[string]*types.Package{}
+	for _, imp := range pass.Pkg.Imports() {
+		byPath[imp.Path()] = imp
+	}
+	out := map[string]*types.Package{}
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		p, ok := byPath[path]
+		if !ok {
+			continue
+		}
+		name := p.Name()
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// resolveStruct resolves "pkg.Type" or "Type" to a struct type and its
+// fully qualified "path.Type" name.
+func resolveStruct(pass *Pass, qualifiers map[string]*types.Package, name string) (*types.Struct, string, bool) {
+	scopePkg := pass.Pkg
+	typeName := name
+	if qual, rest, found := strings.Cut(name, "."); found {
+		p, ok := qualifiers[qual]
+		if !ok {
+			return nil, "", false
+		}
+		scopePkg, typeName = p, rest
+	}
+	obj := scopePkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil, "", false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, "", false
+	}
+	return st, scopePkg.Path() + "." + typeName, true
+}
+
+// checkFieldCoverage reports every field of st that the function body
+// never selects.
+func checkFieldCoverage(pass *Pass, fn *ast.FuncDecl, st *types.Struct, typeName string) {
+	fields := map[*types.Var]bool{} // field -> consumed
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = false
+	}
+	if fn.Body != nil {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if field, tracked := fields[selection.Obj().(*types.Var)]; tracked && !field {
+				fields[selection.Obj().(*types.Var)] = true
+			}
+			return true
+		})
+	}
+	// Report in declaration order for stable output.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !fields[f] {
+			pass.Report(fn.Pos(),
+				"%s is annotated //mugi:cachekey %s but never consumes field %s — two inputs differing only in %s.%s would share one cache entry",
+				fn.Name.Name, typeName, f.Name(), typeName, f.Name())
+		}
+	}
+}

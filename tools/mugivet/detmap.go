@@ -1,0 +1,60 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detmap: no unordered map iteration in the deterministic packages.
+//
+// Go randomizes map iteration order, so any `range` over a map inside a
+// package covered by the determinism contract is a latent
+// different-bytes-per-run bug unless the loop's effect is provably
+// order-independent. The analyzer flags every map range in scope; loops
+// whose effect cannot depend on order (sorting the collected keys before
+// use, exact-commutative reductions like min/max, per-key updates with no
+// cross-key state) carry a `//mugi:orderless <reason>` waiver on the
+// range line. A waiver with no reason is itself a finding — the reason is
+// the reviewable claim.
+
+// newDetmap builds the detmap analyzer over the given package scope.
+func newDetmap(scope func(string) bool) *Analyzer {
+	return &Analyzer{
+		Name:  "detmap",
+		Doc:   "flag map iteration in deterministic packages unless waived with //mugi:orderless <reason>",
+		Scope: scope,
+		Run:   runDetmap,
+	}
+}
+
+func runDetmap(pass *Pass) {
+	for _, f := range pass.Files {
+		w := newWaivers(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rng.Pos()).Line
+			reason, waived := w.at(line, "orderless")
+			if waived && reason == "" {
+				pass.Report(rng.Pos(), "//mugi:orderless waiver needs a reason (why is iteration order irrelevant here?)")
+				return true
+			}
+			if waived {
+				return true
+			}
+			pass.Report(rng.Pos(),
+				"iteration over map %s is randomly ordered inside a deterministic package; sort the keys first or waive the loop with //mugi:orderless <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// exhauststate: every switch over a pinned enum covers every declared
+// member, or fails loudly.
+//
+// The autoscaler's power-state machine and the simulator's operator
+// classes are integer enums; a switch that silently ignores a state is
+// exactly the unchecked transition the assertion-based DVS exploration
+// literature warns about — add a Suspended state tomorrow and today's
+// "count the powered replicas" switch miscounts without a diagnostic. A
+// conforming switch either:
+//
+//   - lists every declared member of the enum across its cases (an
+//     explicit no-op case documents "this state is intentionally not
+//     counted"), or
+//   - has a default clause that panics — the runtime assertion form.
+//
+// Members are every package-level constant of the enum's named type,
+// deduplicated by value (an alias counts as its canonical member). Enum
+// types are pinned two ways: the exhaustiveTypes list below (so switches
+// in *other* packages are held to the contract too), and a
+// `//mugi:exhaustive` directive on a type declaration for
+// package-local enums.
+
+// exhaustiveTypes pins the repo's enum types by qualified name.
+var exhaustiveTypes = []string{
+	"mugi/internal/autoscale.PowerState",
+	"mugi/internal/model.OpClass",
+}
+
+// newExhauststate builds the exhauststate analyzer (tree-wide scope).
+func newExhauststate() *Analyzer {
+	return &Analyzer{
+		Name: "exhauststate",
+		Doc:  "switches over pinned enums cover every member or panic in default",
+		Run:  runExhauststate,
+	}
+}
+
+func runExhauststate(pass *Pass) {
+	local := localExhaustiveTypes(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || !isExhaustive(named, local) {
+				return true
+			}
+			checkSwitch(pass, sw, named)
+			return true
+		})
+	}
+}
+
+// localExhaustiveTypes collects the current package's types annotated
+// //mugi:exhaustive (directive in the type's doc or line comment).
+func localExhaustiveTypes(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	mark := func(spec *ast.TypeSpec) {
+		if obj, ok := pass.TypesInfo.Defs[spec.Name].(*types.TypeName); ok {
+			out[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declHas := commentGroupHasDirective(gd.Doc, "exhaustive")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declHas || commentGroupHasDirective(ts.Doc, "exhaustive") || commentGroupHasDirective(ts.Comment, "exhaustive") {
+					mark(ts)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func commentGroupHasDirective(cg *ast.CommentGroup, verb string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if v, _, ok := parseDirective(c.Text); ok && v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// isExhaustive reports whether the named type is pinned, by list or by
+// local annotation.
+func isExhaustive(named *types.Named, local map[*types.TypeName]bool) bool {
+	obj := named.Obj()
+	if local[obj] {
+		return true
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	qualified := obj.Pkg().Path() + "." + obj.Name()
+	for _, t := range exhaustiveTypes {
+		if t == qualified {
+			return true
+		}
+	}
+	return false
+}
+
+// enumMembers lists the package-level constants of the enum type,
+// deduplicated by value, in declaration-scope name order.
+func enumMembers(named *types.Named) (names []string, values []constant.Value) {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil, nil
+	}
+	scope := pkg.Scope()
+	seen := map[string]bool{} // by exact value representation
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		names = append(names, c.Name())
+		values = append(values, c.Val())
+	}
+	return names, values
+}
+
+// checkSwitch verifies one switch statement against the enum contract.
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named) {
+	memberNames, memberValues := enumMembers(named)
+	if len(memberValues) == 0 {
+		return
+	}
+	coveredValues := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		for _, expr := range clause.List {
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+				coveredValues[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for i, v := range memberValues {
+		if !coveredValues[v.ExactString()] {
+			missing = append(missing, memberNames[i])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && clausePanics(defaultClause) {
+		return
+	}
+	enum := named.Obj().Name()
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg != pass.Pkg {
+		enum = pkg.Name() + "." + enum
+	}
+	what := "add explicit cases (a no-op case documents intent) or a default that panics"
+	if defaultClause != nil {
+		what = "the silent default would swallow them; enumerate the cases or make the default panic"
+	}
+	pass.Report(sw.Pos(),
+		"switch over %s misses %s — %s",
+		enum, strings.Join(missing, ", "), what)
+}
+
+// clausePanics reports whether a clause body contains a direct call to
+// the builtin panic.
+func clausePanics(clause *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range clause.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

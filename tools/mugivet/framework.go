@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The in-process analysis framework. The API is deliberately shaped like
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic, Report —
+// so the analyzers read like standard vet passes and could be ported to
+// the upstream framework verbatim. The repo builds hermetically (no
+// module downloads), so the driver, loader and fixture harness are
+// self-contained on the standard library instead of importing x/tools.
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	// Name prefixes every diagnostic and selects the analyzer on the
+	// -analyzers flag.
+	Name string
+	// Doc is the one-line contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+	// Scope, when non-nil, restricts Run to packages whose import path
+	// it accepts; a nil Scope analyzes every package.
+	Scope func(pkgPath string) bool
+}
+
+// Pass carries one package's syntax, types and reporting hook through an
+// analyzer, mirroring analysis.Pass.
+type Pass struct {
+	// Fset resolves token positions for every file of the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression facts.
+	TypesInfo *types.Info
+	// report receives diagnostics; Report wraps it.
+	report func(Diagnostic)
+}
+
+// Report records one finding at a position.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message (already prefixed
+// with the analyzer name by the driver).
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violated contract.
+	Message string
+}
+
+// String renders the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, message so runs
+// are byte-identical regardless of package iteration order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// waivers indexes a file's "//mugi:<verb> reason" comments by the line
+// they waive: the comment's own line (trailing form) and, for a comment
+// on a line of its own, the first following line. One index serves every
+// analyzer; each looks up its own verb.
+type waivers struct {
+	// byLine maps line -> verb -> reason (reason may be empty, which the
+	// analyzers reject with their own diagnostic).
+	byLine map[int]map[string]string
+}
+
+// newWaivers scans every comment of a file for mugi directives.
+func newWaivers(fset *token.FileSet, f *ast.File) waivers {
+	w := waivers{byLine: map[int]map[string]string{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			verb, reason, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			w.add(line, verb, reason)
+			// A directive on its own line waives the next line: find
+			// whether anything else shares the directive's line by
+			// checking the comment starts the line's non-blank text.
+			w.add(line+1, verb, reason)
+		}
+	}
+	return w
+}
+
+func (w waivers) add(line int, verb, reason string) {
+	m := w.byLine[line]
+	if m == nil {
+		m = map[string]string{}
+		w.byLine[line] = m
+	}
+	if _, exists := m[verb]; !exists {
+		m[verb] = reason
+	}
+}
+
+// at reports whether the verb waives the given line, and its reason.
+func (w waivers) at(line int, verb string) (reason string, ok bool) {
+	m, ok := w.byLine[line]
+	if !ok {
+		return "", false
+	}
+	reason, ok = m[verb]
+	return reason, ok
+}
+
+// parseDirective splits "//mugi:verb reason..." into its verb and reason.
+// Only the directive form (no space after //) is recognized, matching the
+// gofmt convention for tool directives.
+func parseDirective(text string) (verb, reason string, ok bool) {
+	const prefix = "//mugi:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := text[len(prefix):]
+	verb, reason, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(reason), verb != ""
+}
+
+// funcDirective returns the reason of a "//mugi:<verb> ..." directive in
+// a function's doc comment, and whether one is present.
+func funcDirective(fn *ast.FuncDecl, verb string) (args string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		v, rest, isDir := parseDirective(c.Text)
+		if isDir && v == verb {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// deterministicPkgs are the packages whose outputs the repo pins
+// byte-identical at any parallelism (docs/ARCHITECTURE.md, "The
+// determinism contract"). detmap and noclock enforce their contracts
+// only here; CLIs and the benchmark harness may read wall clocks.
+var deterministicPkgs = []string{
+	"mugi/internal/sim",
+	"mugi/internal/serve",
+	"mugi/internal/fleet",
+	"mugi/internal/autoscale",
+	"mugi/internal/runner",
+	"mugi/internal/experiments",
+	"mugi/internal/dist",
+}
+
+// inDeterministicScope reports whether a package path is covered by the
+// determinism contract (exact match or subpackage).
+func inDeterministicScope(pkgPath string) bool {
+	for _, p := range deterministicPkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading. The driver asks the go tool for the dependency
+// closure with export data (`go list -deps -export -json`), parses the
+// matched packages from source, and type-checks them against the
+// compiler's export data for every import — the same artifacts `go vet`
+// feeds its unitchecker, produced entirely from the local build cache.
+
+// loadedPackage is one type-checked package ready for analysis.
+type loadedPackage struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package directory (noalloc rebuilds from here).
+	Dir string
+	// Fset, Files, Pkg and Info feed the per-package Pass.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loadPackages type-checks every package matched by the patterns
+// (dependencies are consumed as export data, not re-checked). Packages
+// are returned sorted by import path so analysis order is deterministic.
+func loadPackages(dir string, patterns []string) ([]*loadedPackage, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every package in the closure, for the importer.
+	exports := map[string]string{}
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*loadedPackage
+	for _, p := range targets {
+		lp, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, p listedPackage) (*loadedPackage, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type-checking: %v", p.ImportPath, err)
+	}
+	return &loadedPackage{
+		PkgPath: p.ImportPath,
+		Dir:     p.Dir,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}, nil
+}
+
+// runAnalyzers applies every analyzer to every loaded package and
+// returns the sorted findings, each message prefixed with its analyzer.
+func runAnalyzers(analyzers []*Analyzer, pkgs []*loadedPackage) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, lp := range pkgs {
+			if a.Scope != nil && !a.Scope(lp.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Fset:      lp.Fset,
+				Files:     lp.Files,
+				Pkg:       lp.Pkg,
+				TypesInfo: lp.Info,
+				report: func(d Diagnostic) {
+					d.Message = a.Name + ": " + d.Message
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}

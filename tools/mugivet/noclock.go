@@ -1,0 +1,102 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noclock: no wall clocks, global randomness, or environment reads in
+// the deterministic packages.
+//
+// The determinism contract promises byte-identical output for identical
+// inputs at any parallelism. time.Now (and Since/Until, which call it),
+// the process environment, and math/rand's package-level functions (which
+// draw from a shared, randomly-seeded global source) all smuggle ambient
+// state into that promise. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are the sanctioned way to be random
+// and reproducible. CLIs and cmd/mugibench sit outside the deterministic
+// package list, so their wall-clock timing is allowlisted by
+// construction; a rare in-scope exception (none today) carries a
+// `//mugi:wallclock <reason>` waiver.
+
+// bannedCalls maps package path -> function name -> what to say.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock (calls time.Now)",
+		"Until": "reads the wall clock (calls time.Now)",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+// seededRandCtors are the math/rand functions that do NOT touch the
+// global source: they build explicitly seeded generators.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// newNoclock builds the noclock analyzer over the given package scope.
+func newNoclock(scope func(string) bool) *Analyzer {
+	return &Analyzer{
+		Name:  "noclock",
+		Doc:   "ban time.Now, unseeded math/rand globals and os.Getenv in deterministic packages",
+		Scope: scope,
+		Run:   runNoclock,
+	}
+}
+
+func runNoclock(pass *Pass) {
+	for _, f := range pass.Files {
+		w := newWaivers(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			// Only package-level functions: methods (e.g. (*rand.Rand).Float64)
+			// have a receiver and are fine.
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			pkgPath, name := obj.Pkg().Path(), obj.Name()
+			why := ""
+			if m, ok := bannedCalls[pkgPath]; ok {
+				why = m[name]
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !seededRandCtors[name] {
+				why = "draws from the global, run-dependent source (seed a local generator: rand.New(rand.NewSource(seed)))"
+			}
+			if why == "" {
+				return true
+			}
+			line := pass.Fset.Position(sel.Pos()).Line
+			reason, waived := w.at(line, "wallclock")
+			if waived && reason == "" {
+				pass.Report(sel.Pos(), "//mugi:wallclock waiver needs a reason")
+				return true
+			}
+			if waived {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"%s.%s %s — forbidden in a deterministic package (waive with //mugi:wallclock <reason> if output cannot depend on it)",
+				pkgPath, name, why)
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Package cachekey is the cachekey analyzer's fixture: an annotated
+// encoder that skips a field is flagged naming the field; full coverage
+// passes; malformed directives are findings of their own.
+package cachekey
+
+import "fmt"
+
+// Params is the fixture stand-in for a sim-cache key struct.
+type Params struct {
+	Design    string
+	Bandwidth float64
+	Replicas  int
+}
+
+// Nested shows one-level coverage: selecting a struct-typed field covers
+// it (its own fields ride along with the rendering).
+type Nested struct {
+	Inner Params
+	Tag   string
+}
+
+// goodKey consumes every field.
+//
+//mugi:cachekey Params
+func goodKey(p Params) string {
+	return fmt.Sprintf("%s|%g|%d", p.Design, p.Bandwidth, p.Replicas)
+}
+
+// badKey skips Replicas: two inputs differing only there would share one
+// cache entry.
+//
+//mugi:cachekey Params
+func badKey(p Params) string { // want `badKey is annotated //mugi:cachekey Params but never consumes field Replicas`
+	return fmt.Sprintf("%s|%g", p.Design, p.Bandwidth)
+}
+
+// nestedKey covers Nested at one level: Inner as a whole plus Tag.
+//
+//mugi:cachekey Nested
+func nestedKey(n Nested) string {
+	return fmt.Sprintf("%+v|%s", n.Inner, n.Tag)
+}
+
+// emptyDirective names no types at all.
+//
+//mugi:cachekey
+func emptyDirective(p Params) string { // want `//mugi:cachekey directive names no struct types`
+	return p.Design
+}
+
+// unknownType names a type that does not resolve.
+//
+//mugi:cachekey NoSuchType
+func unknownType(p Params) string { // want `//mugi:cachekey NoSuchType does not name a struct type visible from this file`
+	return p.Design
+}

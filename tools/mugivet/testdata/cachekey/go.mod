@@ -1,0 +1,3 @@
+module fixture/cachekey
+
+go 1.24

@@ -1,0 +1,21 @@
+// Package req exercises the required-coverage pin: the harness test adds
+// this package to requiredCachekey and expects the package-level finding,
+// because no encoder here carries a //mugi:cachekey annotation — the
+// "deleted annotation" failure mode.
+package req
+
+import "fmt"
+
+// Workload is the struct the injected contract says must be covered.
+type Workload struct {
+	Requests int
+	SeqLen   int
+}
+
+// key encodes every field but lost its annotation.
+func key(w Workload) string {
+	return fmt.Sprintf("%d|%d", w.Requests, w.SeqLen)
+}
+
+// Key keeps the package non-empty from the outside.
+func Key(w Workload) string { return key(w) }

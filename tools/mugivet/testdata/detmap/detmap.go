@@ -1,0 +1,58 @@
+// Package detmap is the detmap analyzer's fixture: map ranges are
+// flagged, waived ranges pass, and a reasonless waiver is its own
+// finding. The `// want "regex"` comments are the expected diagnostics,
+// matched by the harness in fixtures_test.go.
+package detmap
+
+import "sort"
+
+// Flagged: a bare map range in scope.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `iteration over map map\[string\]int is randomly ordered`
+		total += v
+	}
+	return total
+}
+
+// Waived: the loop collects keys and sorts before any consumer sees them.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//mugi:orderless keys are sorted below before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Waived in trailing form on the range line itself.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m { //mugi:orderless exact max reduction, commutative
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// A reasonless waiver is itself a finding: the reason is the reviewable
+// claim that order cannot matter.
+func Count(m map[string]int) int {
+	n := 0
+	//mugi:orderless
+	for range m { // want `//mugi:orderless waiver needs a reason`
+		n++
+	}
+	return n
+}
+
+// Not flagged: slices iterate in index order.
+func SumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

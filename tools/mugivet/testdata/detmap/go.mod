@@ -1,0 +1,3 @@
+module fixture/detmap
+
+go 1.24

@@ -1,0 +1,87 @@
+// Package exhauststate is the exhauststate analyzer's fixture: switches
+// over a //mugi:exhaustive enum either cover every member or panic in
+// default; anything else is a finding.
+package exhauststate
+
+// State is a fixture power-state machine, pinned by the local directive
+// rather than the repo-wide list.
+//
+//mugi:exhaustive
+type State int
+
+const (
+	Off State = iota
+	Booting
+	Active
+	// Running aliases Active: members deduplicate by value, so covering
+	// Active covers Running too.
+	Running = Active
+)
+
+// Loose is an enum with no directive: the analyzer leaves its switches
+// alone.
+type Loose int
+
+const (
+	A Loose = iota
+	B
+)
+
+// Covered lists every member; an explicit no-op case documents intent.
+func Covered(s State) int {
+	switch s {
+	case Off:
+		return 0
+	case Booting:
+		// Booting replicas are intentionally not counted.
+	case Active:
+		return 2
+	}
+	return -1
+}
+
+// Asserted misses Booting but panics in default — the runtime assertion
+// form.
+func Asserted(s State) int {
+	switch s {
+	case Off:
+		return 0
+	case Active:
+		return 2
+	default:
+		panic("exhauststate: unhandled state")
+	}
+}
+
+// Missing silently skips Booting and has no default at all.
+func Missing(s State) int {
+	switch s { // want `switch over State misses Booting — add explicit cases`
+	case Off:
+		return 0
+	case Active:
+		return 2
+	}
+	return -1
+}
+
+// Swallowed has a default, but a silent one: the worst form, because a
+// new member vanishes into it without a diagnostic.
+func Swallowed(s State) int {
+	switch s { // want `switch over State misses Booting — the silent default would swallow them`
+	case Off:
+		return 0
+	case Active:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Unpinned switches over an undirected enum stay out of scope.
+func Unpinned(l Loose) int {
+	switch l {
+	case A:
+		return 0
+	}
+	return -1
+}

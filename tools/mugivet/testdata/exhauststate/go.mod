@@ -1,0 +1,3 @@
+module fixture/exhauststate
+
+go 1.24

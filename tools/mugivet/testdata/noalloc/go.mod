@@ -1,0 +1,3 @@
+module fixture/noalloc
+
+go 1.24

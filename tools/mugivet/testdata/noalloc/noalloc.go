@@ -1,0 +1,59 @@
+// Package noalloc is the noalloc analyzer's fixture, checked against the
+// real compiler's escape analysis (go build -gcflags=-m): an annotated
+// function with a heap escape is flagged, panic arguments and waived
+// cold lines are tolerated, and unannotated functions may allocate
+// freely.
+package noalloc
+
+// Sink keeps escaping values observable so the compiler cannot dead-code
+// the allocations away.
+var Sink []int
+
+// Leaky escapes: the slice outlives the call through the package sink.
+//
+//mugi:noalloc
+func Leaky(n int) {
+	buf := make([]int, n) // want `Leaky is annotated //mugi:noalloc but make\(\[\]int, n\) escapes to heap`
+	Sink = buf
+}
+
+// Clean writes in place: no escapes.
+//
+//mugi:noalloc
+func Clean(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Asserting allocates only to build a validation panic's message — cold
+// by definition, tolerated without a waiver.
+//
+//mugi:noalloc
+func Asserting(dst []int, n int) {
+	if n < 0 {
+		panic("noalloc fixture: negative length " + string(rune('0'-n)))
+	}
+	for i := range dst {
+		dst[i] = n
+	}
+}
+
+// Warmed allocates once on first use; the waiver's reason is the claim
+// that a warmed caller never takes the branch again.
+//
+//mugi:noalloc
+func Warmed(state *[]int, n int) {
+	if cap(*state) < n {
+		*state = make([]int, n) //mugi:coldalloc grows once on first use; a warmed state never re-makes
+	}
+	buf := (*state)[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+}
+
+// Unannotated functions allocate without comment from the analyzer.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,3 @@
+module fixture/noclock
+
+go 1.24

@@ -1,0 +1,41 @@
+// Package noclock is the noclock analyzer's fixture: wall clocks,
+// environment reads and the global rand source are flagged; explicitly
+// seeded generators and methods on them pass.
+package noclock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Flagged: every ambient-state read.
+func Ambient() (int64, string, int) {
+	now := time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	env := os.Getenv("HOME")     // want `os\.Getenv reads the process environment`
+	n := rand.Intn(10)           // want `math/rand\.Intn draws from the global, run-dependent source`
+	return now, env, n
+}
+
+// Flagged: Since calls time.Now under the hood.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock \(calls time\.Now\)`
+}
+
+// Not flagged: an explicitly seeded generator is the sanctioned way to
+// be random and reproducible; its methods carry a receiver.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Waived: reason documents why output cannot depend on the clock.
+func Waived() int64 {
+	return time.Now().Unix() //mugi:wallclock fixture-only: value is discarded by the caller
+}
+
+// A reasonless waiver is itself a finding.
+func WaivedBare() int64 {
+	//mugi:wallclock
+	return time.Now().Unix() // want `//mugi:wallclock waiver needs a reason`
+}
