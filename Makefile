@@ -26,12 +26,13 @@ bench:
 
 # Regenerate the hot-path perf trajectory (ns/op + allocs/op for the VLP
 # GEMM, decode step, proxy loss, simulator pass, cold/warm serving runs,
-# the million-request streaming trace, the capacity search, and the
-# fleet plan). Fails if any zero-allocation path allocates or a
+# the million-request streaming trace, the capacity search, the fleet
+# plan, and the faulty fleet week). Fails if any zero-allocation path
+# allocates or a
 # bounded-allocation serving path exceeds its budget. CI runs the same
 # emitter with -benchiters 1 as a smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR6.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR8.json
 
 # Godoc coverage gate: every package and every exported facade symbol
 # documented. A prerequisite of both lint and docs-check; make dedupes

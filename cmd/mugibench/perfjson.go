@@ -38,31 +38,32 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_PR6.json schema.
+// benchFile is the BENCH_PR8.json schema.
 type benchFile struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
 	// Baseline carries the previous PR's recorded measurements (same
 	// shapes, same machine class) so the file documents the trajectory it
 	// gates, not just the current numbers.
-	Baseline   []benchRecord `json:"baseline_pr5"`
+	Baseline   []benchRecord `json:"baseline_pr6"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// baselinePR5 is the pre-PR trajectory: the measurements recorded in
-// BENCH_PR5.json at the PR 5 commit, carried forward so BENCH_PR6.json
-// stays self-contained. The autoscale_week kernel is new in PR 6 and has
-// no baseline entry.
-var baselinePR5 = []benchRecord{
-	{Name: "vlp_gemm_8x512x512", Iters: 63, NsPerOp: 1579802.2857142857, AllocsPerOp: 0},
-	{Name: "decode_step", Iters: 512, NsPerOp: 268651.939453125, AllocsPerOp: 0},
-	{Name: "proxy_loss", Iters: 14, NsPerOp: 7242642.5, AllocsPerOp: 0},
-	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1089.2515, AllocsPerOp: 4},
-	{Name: "serve_poisson_cold", Iters: 196, NsPerOp: 498217.35204081633, AllocsPerOp: 374},
-	{Name: "serve_poisson_warm", Iters: 269, NsPerOp: 367778.6579925651, AllocsPerOp: 2},
-	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11775373855, AllocsPerOp: 6},
-	{Name: "capacity_search", Iters: 10, NsPerOp: 10121962.3, AllocsPerOp: 1590},
-	{Name: "fleet_plan", Iters: 2, NsPerOp: 40382401, AllocsPerOp: 3492},
+// baselinePR6 is the pre-PR trajectory: the measurements recorded in
+// BENCH_PR6.json at the PR 6 commit, carried forward so BENCH_PR8.json
+// stays self-contained. The fleet_faulty_week kernel is new in PR 8 and
+// has no baseline entry.
+var baselinePR6 = []benchRecord{
+	{Name: "vlp_gemm_8x512x512", Iters: 52, NsPerOp: 1340577.923076923, AllocsPerOp: 0},
+	{Name: "decode_step", Iters: 512, NsPerOp: 251302.939453125, AllocsPerOp: 0},
+	{Name: "proxy_loss", Iters: 10, NsPerOp: 8295052.3, AllocsPerOp: 0},
+	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1039.092, AllocsPerOp: 4},
+	{Name: "serve_poisson_cold", Iters: 201, NsPerOp: 509445.9104477612, AllocsPerOp: 374},
+	{Name: "serve_poisson_warm", Iters: 275, NsPerOp: 395419.0363636364, AllocsPerOp: 2},
+	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11651414200, AllocsPerOp: 6},
+	{Name: "capacity_search", Iters: 9, NsPerOp: 10730473.222222222, AllocsPerOp: 1589},
+	{Name: "autoscale_week", Iters: 1, NsPerOp: 2420109271, AllocsPerOp: 6795},
+	{Name: "fleet_plan", Iters: 2, NsPerOp: 38077216.5, AllocsPerOp: 3498},
 }
 
 // perfKernel is one measurable hot path.
@@ -217,6 +218,22 @@ func perfKernels() []perfKernel {
 		Iters:  3,
 	}
 
+	// Faulty fleet week: a three-replica JSQ fleet serving a week of
+	// diurnal arrivals under seeded fault injection — ~200 crashes, each
+	// orphaning in-flight work the router fails over — through the
+	// remove-and-re-dispatch fixed point, cold cache.
+	faultyFleetCfg := mugi.FleetConfig{
+		Replica:       mugi.ServeConfig{Model: mugi.Llama2_7B, Design: mugi.NewMugi(256), Mesh: mugi.NewMesh(2, 2)},
+		Replicas:      3,
+		Policy:        mugi.FleetJSQ,
+		Faults:        mugi.FaultSpec{MTBF: 7200, MTTR: 600, Seed: 7},
+		MaxRedispatch: 2,
+	}
+	faultyFleetTrace := mugi.TraceConfig{
+		Kind: mugi.TraceDiurnal, Rate: 0.02, Requests: int(0.02 * 7 * 86400),
+		Seed: 42, Period: 86400,
+	}
+
 	// Autoscale week: the full static-vs-dynamic comparison — always-on
 	// JSQ fleet, then the online controller (power states, boot lag,
 	// DVFS) — over a simulated week of diurnal arrivals, cold cache.
@@ -346,6 +363,36 @@ func perfKernels() []perfKernel {
 			},
 		},
 		{
+			name: "fleet_faulty_week",
+			// One run is seconds of work (12k requests, ~200 crashes, every
+			// crash-dirtied replica re-run to the failover fixed point). The
+			// router allocates per replica re-run and per cache miss, never
+			// per request or per scheduler step: the budget sits well under
+			// one alloc per request.
+			fixedIters:   1,
+			maxAllocRuns: 1,
+			maxAllocs:    8_000,
+			op: func() {
+				mugi.ResetSimCache()
+				src, err := mugi.NewTraceStream(faultyFleetTrace)
+				if err != nil {
+					panic(err)
+				}
+				rep, err := mugi.RunFleet(faultyFleetCfg, src)
+				if err != nil {
+					panic(err)
+				}
+				f := rep.Fleet
+				if f.Completed+f.Shed != f.Requests {
+					panic(fmt.Sprintf("fleet_faulty_week leaked requests: %d+%d != %d",
+						f.Completed, f.Shed, f.Requests))
+				}
+				if f.Crashes == 0 {
+					panic("fleet_faulty_week injected no crashes")
+				}
+			},
+		},
+		{
 			name: "fleet_plan",
 			// The planner allocates per probe (routed schedules, reports,
 			// frontier copies) but never per scheduler step: the budget is
@@ -384,7 +431,7 @@ func seedFill(data []float32, std float64) {
 // It returns an error if any zero-allocation path allocated.
 func runPerfJSON(path string, iters, parallel int) error {
 	runner.SetParallelism(parallel)
-	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR5}
+	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR6}
 	var regressions []string
 	for _, k := range perfKernels() {
 		rec := measure(k, iters)

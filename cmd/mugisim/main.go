@@ -2,9 +2,10 @@
 // mesh) point with the Table-3 style metrics and latency breakdown, a
 // request-level serving scenario with -serve, a capacity search with
 // -capacity, a fleet plan (TCO + price-performance frontiers) with
-// -fleet, a static-vs-online autoscaling comparison with -autoscale, or
-// — with -all — the full experiment registry fanned across the
-// concurrent sweep runner.
+// -fleet, a static-vs-online autoscaling comparison with -autoscale, a
+// price-of-nines sweep (N+k spare capacity under fault injection) with
+// -faults, or — with -all — the full experiment registry fanned across
+// the concurrent sweep runner.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	mugisim -capacity -designs mugi,saf -meshes 1x1,2x2,4x4 -parallel 8
 //	mugisim -fleet -designs mugi,saf -meshes 1x1,2x2 -replicas 1,2,4 -policy jsq
 //	mugisim -autoscale                  # static plan vs online controller, one week
+//	mugisim -faults -spares 0,1,2 -mtbf 120 -mttr 60 -nines 0.99
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
 //
 // See docs/CLI.md for the full flag reference and recipes.
@@ -44,6 +46,7 @@ var usageGroups = []cliusage.Group{
 	{Title: "capacity search (-capacity)", Flags: []string{"capacity", "designs", "meshes"}},
 	{Title: "fleet planning (-fleet)", Flags: []string{"fleet", "replicas", "policy", "slo-ttft", "slo-latency", "utilization"}},
 	{Title: "fleet autoscaling (-autoscale)", Flags: []string{"autoscale", "week", "max-replicas", "min-replicas"}},
+	{Title: "price of nines (-faults)", Flags: []string{"faults", "mtbf", "mttr", "straggler", "spares", "nines"}},
 	{Title: "full registry (-all)", Flags: []string{"all"}},
 	{Title: "shared"},
 }
@@ -79,10 +82,31 @@ func main() {
 	week := flag.Bool("week", true, "autoscale horizon: a simulated week (false = one day)")
 	maxReplicas := flag.Int("max-replicas", 0, "autoscale: owned replica ceiling (0 = size from the static plan)")
 	minReplicas := flag.Int("min-replicas", 1, "autoscale: always-warm replica floor")
+	faultsMode := flag.Bool("faults", false, "sweep N+k spare capacity under fault injection: the price of nines")
+	mtbf := flag.Float64("mtbf", 120, "faults: mean time between per-replica crashes in seconds")
+	mttr := flag.Float64("mttr", 60, "faults: mean time to repair in seconds")
+	straggler := flag.Float64("straggler", 0, "faults: probability a replica is a straggler (slowed rounds)")
+	sparesCSV := flag.String("spares", "0,1,2", "faults: comma-separated spare counts for the N+k axis")
+	ninesTarget := flag.Float64("nines", 0.99, "faults: availability target for the cheapest-config verdict, in (0,1]")
 	flag.Usage = cliusage.Grouped(flag.CommandLine,
 		"mugisim — architecture, serving, capacity, and fleet simulations.\nUsage: mugisim [mode flag] [flags]",
 		usageGroups)
 	flag.Parse()
+
+	// set records which flags the user spelled out, so mode-specific
+	// defaults never override an explicit choice.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	modes := 0
+	for _, on := range []bool{*all, *serveMode, *capacityMode, *fleetMode, *autoscaleMode, *faultsMode} {
+		if on {
+			modes++
+		}
+	}
+	if err := validateFlags(modes, *minReplicas, *maxReplicas, *rate, *requests,
+		*parallel, *mtbf, *mttr, *straggler, *ninesTarget); err != nil {
+		usageError(err)
+	}
 
 	if *all {
 		runAll(*parallel)
@@ -92,8 +116,6 @@ func main() {
 		// The autoscale demo has its own sensible defaults (a diurnal
 		// trace on a multi-replica-worthy mesh at a rate with a real
 		// day/night swing); flags the user set explicitly always win.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["trace"] {
 			*traceKind = "diurnal"
 		}
@@ -118,6 +140,36 @@ func main() {
 		runAutoscale(*design, *rows, *meshStr, *modelName, *traceKind, *lengths,
 			*policyName, *rate, *requests, *traceSeed, *maxBatch, *kvBudgetGB,
 			*week, *maxReplicas, *minReplicas, *sloTTFT, *sloLatency, *parallel)
+		return
+	}
+	if *faultsMode {
+		// The faults demo defaults to a bursty trace on a small faulty
+		// fleet whose baseline sheds visibly, so the spare-capacity axis
+		// has a story to tell; explicit flags always win.
+		if !set["trace"] {
+			*traceKind = "bursty"
+		}
+		if !set["model"] {
+			*modelName = "Llama 2 7B"
+		}
+		if !set["meshes"] {
+			*meshesCSV = "2x2"
+		}
+		if !set["replicas"] {
+			*replicasCSV = "2"
+		}
+		if !set["designs"] {
+			*designsCSV = "mugi,saf"
+		}
+		if !set["rate"] {
+			*rate = 0.15
+		}
+		if !set["seed"] {
+			*traceSeed = 7
+		}
+		runFaults(*designsCSV, *meshesCSV, *replicasCSV, *sparesCSV, *rows, *modelName,
+			*traceKind, *lengths, *policyName, *rate, *requests, *traceSeed,
+			*maxBatch, *kvBudgetGB, *mtbf, *mttr, *straggler, *ninesTarget, *parallel)
 		return
 	}
 	if *capacityMode {
@@ -420,6 +472,72 @@ func runAutoscale(designName string, rows int, meshStr, modelName, traceKind, le
 	fmt.Print(cmp.String())
 }
 
+// runFaults sweeps the design × mesh × replicas grid crossed with the
+// N+k spares axis under seeded fault injection and prints the
+// availability table, the price-of-nines frontier, and the cheapest
+// configuration meeting the -nines availability target.
+func runFaults(designsCSV, meshesCSV, replicasCSV, sparesCSV string, rows int,
+	modelName, traceKind, lengths, policyName string, rate float64, requests int,
+	seed int64, maxBatch int, kvBudgetGB, mtbf, mttr, straggler, ninesTarget float64,
+	parallel int) {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := mugi.ParseFleetPolicy(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	replicas, err := parseCounts(replicasCSV, 1)
+	if err != nil {
+		fatal(err)
+	}
+	spares, err := parseCounts(sparesCSV, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if parallel != 0 {
+		runner.SetParallelism(parallel)
+	}
+	spec := mugi.NinesSpec{
+		Base: mugi.ServeConfig{
+			Model: m, MaxBatch: maxBatch, KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+		},
+		Cells:  mugi.FleetGrid(parseDesigns(designsCSV, rows), parseMeshes(meshesCSV), replicas),
+		Spares: spares,
+		Policy: policy,
+		Trace:  mugi.TraceConfig{Kind: kind, Rate: rate, Requests: requests, Seed: seed, Lengths: profile},
+		Faults: mugi.FaultSpec{MTBF: mtbf, MTTR: mttr, StragglerProb: straggler, Seed: seed},
+	}
+	results := mugi.PlanNines(spec)
+	fmt.Printf("price of nines: %s, %s %s probes (%d requests at %.3f req/s, seed %d), %s routing\n",
+		m.Name, traceKind, profile.Name, requests, rate, seed, policy)
+	fmt.Printf("faults: MTBF %gs  MTTR %gs  straggler prob %g\n", mtbf, mttr, straggler)
+	for _, res := range results {
+		fmt.Println(res)
+	}
+	front := mugi.NinesFrontier(results)
+	fmt.Printf("-- price-of-nines frontier (%d of %d points) --\n", len(front), len(results))
+	for _, f := range front {
+		fmt.Println(f)
+	}
+	if best, ok := mugi.CheapestNines(results, ninesTarget); ok {
+		fmt.Printf("cheapest at >= %g availability: %s %s N=%d+%d  $%.4f/1k  availability %.4f%% (%s)\n",
+			ninesTarget, best.Design, best.Mesh, best.Replicas, best.Spares,
+			best.DollarsPer1k, best.Availability*100, mugi.NinesString(best.Availability))
+	} else {
+		fmt.Printf("no planned point reaches availability %g — add spares or relax -nines\n", ninesTarget)
+	}
+}
+
 // runAll regenerates the full registry on the bounded worker pool and
 // prints each artifact in paper order, followed by the cache accounting.
 func runAll(parallel int) {
@@ -491,6 +609,63 @@ func parseMesh(s string) (noc.Mesh, error) {
 		return noc.Mesh{}, fmt.Errorf("bad mesh %q", s)
 	}
 	return noc.NewMesh(r, c), nil
+}
+
+// parseCounts parses a comma-separated list of non-negative integers,
+// rejecting anything below the floor.
+func parseCounts(csv string, floor int) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < floor {
+			return nil, fmt.Errorf("bad count %q (want integers >= %d)", s, floor)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// validateFlags rejects contradictory flag combinations up front, before
+// any mode starts simulating — one mode flag at a time, a replica floor
+// below the ceiling, and rates/probabilities inside their domains.
+func validateFlags(modes, minReplicas, maxReplicas int, rate float64, requests,
+	parallel int, mtbf, mttr, straggler, ninesTarget float64) error {
+	if modes > 1 {
+		return fmt.Errorf("choose one mode flag: -all, -serve, -capacity, -fleet, -autoscale, or -faults")
+	}
+	if maxReplicas > 0 && minReplicas > maxReplicas {
+		return fmt.Errorf("-min-replicas %d exceeds -max-replicas %d", minReplicas, maxReplicas)
+	}
+	if minReplicas < 0 {
+		return fmt.Errorf("-min-replicas %d must be non-negative", minReplicas)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-rate %g must be positive", rate)
+	}
+	if requests < 0 {
+		return fmt.Errorf("-requests %d must be non-negative", requests)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel %d must be non-negative", parallel)
+	}
+	if mtbf < 0 || mttr < 0 {
+		return fmt.Errorf("-mtbf %g and -mttr %g must be non-negative", mtbf, mttr)
+	}
+	if straggler < 0 || straggler > 1 {
+		return fmt.Errorf("-straggler %g must be a probability in [0,1]", straggler)
+	}
+	if ninesTarget <= 0 || ninesTarget > 1 {
+		return fmt.Errorf("-nines %g must be an availability in (0,1]", ninesTarget)
+	}
+	return nil
+}
+
+// usageError reports a flag contradiction and exits with the
+// conventional usage status.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "mugisim:", err)
+	fmt.Fprintln(os.Stderr, "run 'mugisim -h' for the flag reference")
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -51,6 +51,95 @@ func TestParseMesh(t *testing.T) {
 	}
 }
 
+// flagCase perturbs one field of a passing baseline at a time.
+type flagCase struct {
+	name                     string
+	modes                    int
+	minReplicas, maxReplicas int
+	rate                     float64
+	requests, parallel       int
+	mtbf, mttr               float64
+	straggler, ninesTarget   float64
+	wantErr                  bool
+}
+
+func okCase(name string) flagCase {
+	return flagCase{
+		name: name, modes: 1, minReplicas: 1, maxReplicas: 4,
+		rate: 0.5, requests: 48, mtbf: 120, mttr: 60, ninesTarget: 0.99,
+	}
+}
+
+// TestValidateFlags pins the contradictory-combo rejections: two mode
+// flags at once, a replica floor above the ceiling, and rates or
+// probabilities outside their domains must all fail before any
+// simulation starts.
+func TestValidateFlags(t *testing.T) {
+	cases := []flagCase{
+		okCase("baseline"),
+		okCase("unsized ceiling"),
+		okCase("two modes"),
+		okCase("floor above ceiling"),
+		okCase("negative floor"),
+		okCase("zero rate"),
+		okCase("negative requests"),
+		okCase("negative parallel"),
+		okCase("negative mtbf"),
+		okCase("negative mttr"),
+		okCase("straggler above one"),
+		okCase("nines above one"),
+		okCase("zero nines"),
+	}
+	cases[1].maxReplicas = 0 // 0 = "size from the static plan": any floor is fine
+	cases[1].minReplicas = 9
+	cases[2].modes = 2
+	cases[2].wantErr = true
+	cases[3].minReplicas = 5
+	cases[3].maxReplicas = 2
+	cases[3].wantErr = true
+	cases[4].minReplicas = -1
+	cases[4].wantErr = true
+	cases[5].rate = 0
+	cases[5].wantErr = true
+	cases[6].requests = -1
+	cases[6].wantErr = true
+	cases[7].parallel = -1
+	cases[7].wantErr = true
+	cases[8].mtbf = -1
+	cases[8].wantErr = true
+	cases[9].mttr = -1
+	cases[9].wantErr = true
+	cases[10].straggler = 1.5
+	cases[10].wantErr = true
+	cases[11].ninesTarget = 1.1
+	cases[11].wantErr = true
+	cases[12].ninesTarget = 0
+	cases[12].wantErr = true
+
+	for _, c := range cases {
+		err := validateFlags(c.modes, c.minReplicas, c.maxReplicas, c.rate,
+			c.requests, c.parallel, c.mtbf, c.mttr, c.straggler, c.ninesTarget)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: got err %v, want error=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestParseCounts covers the CSV count parser behind -replicas and
+// -spares.
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts(" 0, 1,2", 0)
+	if err != nil || len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("parseCounts: got %v, %v", got, err)
+	}
+	if _, err := parseCounts("0,1", 1); err == nil {
+		t.Error("count below floor accepted")
+	}
+	if _, err := parseCounts("1,x", 0); err == nil {
+		t.Error("non-integer count accepted")
+	}
+}
+
 func TestParseLengthProfileFlag(t *testing.T) {
 	for _, s := range []string{"chat", "CHAT", "rag"} {
 		p, err := mugi.ParseLengthProfile(s)

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"mugi/internal/arch"
+	"mugi/internal/faults"
 	"mugi/internal/fleet"
 	"mugi/internal/model"
 	"mugi/internal/noc"
@@ -92,6 +93,14 @@ const (
 	// Draining: finishing its in-flight batch, admitting nothing; powers
 	// off when the batch drains, or returns to Active if scaled back up.
 	Draining
+	// Failed: crashed by an injected fault; its batch was orphaned back
+	// to the controller queue. Dead silicon — no leakage — until the
+	// next policy tick detects it and starts repair.
+	Failed
+	// Repairing: under repair after detection; returns to Off when the
+	// fault schedule's repair window ends, so the policy re-boots it
+	// through the normal scale-up path (revive-after-repair).
+	Repairing
 )
 
 // String names the state for renderings.
@@ -107,6 +116,10 @@ func (s PowerState) String() string {
 		return "active"
 	case Draining:
 		return "draining"
+	case Failed:
+		return "failed"
+	case Repairing:
+		return "repairing"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -145,6 +158,16 @@ type Config struct {
 	WindowWidth float64
 	// Book prices the run (zero value: every fleet.PriceBook default).
 	Book fleet.PriceBook
+	// Faults, when enabled, injects per-replica fault schedules drawn
+	// from the spec (replica i's timeline is a pure function of
+	// (Faults.Seed, i)): fail-stop crashes that orphan the in-flight
+	// batch back to the controller queue, boot attempts that fail back
+	// to Off, and straggler replicas whose rounds run slower. Requires
+	// Replica.Faults to be nil — the controller owns the schedules.
+	Faults faults.Spec
+	// MaxRedispatch bounds how many times a crash-orphaned request is
+	// re-queued before it is shed (default serve.DefaultMaxRedispatch).
+	MaxRedispatch int
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -178,6 +201,9 @@ func (c Config) withDefaults() Config {
 	if c.Replica.Mesh.Nodes() == 0 {
 		c.Replica.Mesh = noc.Single
 	}
+	if c.MaxRedispatch == 0 {
+		c.MaxRedispatch = serve.DefaultMaxRedispatch
+	}
 	return c
 }
 
@@ -188,7 +214,8 @@ type Report struct {
 	Trace               serve.TraceInfo
 	Policy              string
 
-	// Requests and Completed count the trace (equal on return).
+	// Requests and Completed count the trace; without faults they are
+	// equal on return, with faults Completed + Shed == Requests.
 	Requests, Completed int
 	// Horizon is the simulated span in seconds (trace start to last
 	// completion).
@@ -214,11 +241,29 @@ type Report struct {
 	// DVFSShifts counts per-replica operating-point changes.
 	Ticks, ScaleUps, ScaleDowns, DVFSShifts int
 
-	// ActiveSeconds, IdleSeconds, BootSeconds and OffSeconds partition
-	// replica-seconds (MaxReplicas × Horizon) by power state.
-	ActiveSeconds, IdleSeconds, BootSeconds, OffSeconds float64
+	// ActiveSeconds, IdleSeconds, BootSeconds, OffSeconds and
+	// FailedSeconds partition replica-seconds (MaxReplicas × Horizon) by
+	// power state; FailedSeconds covers Failed and Repairing (dead
+	// silicon — no leakage, no service).
+	ActiveSeconds, IdleSeconds, BootSeconds, OffSeconds, FailedSeconds float64
 	// MeanActiveReplicas is ActiveSeconds / Horizon.
 	MeanActiveReplicas float64
+
+	// FaultsOn gates the availability block: set iff the run injected
+	// faults. The remaining fields are zero on fault-free runs, so their
+	// renderings stay byte-identical to builds that predate fault
+	// injection.
+	FaultsOn bool
+	// Crashes counts fail-stop replica crashes; BootFailures counts boot
+	// attempts that failed back to Off; Stragglers counts replicas
+	// running slowed (their fault draw marked them slow nodes).
+	Crashes, BootFailures, Stragglers int
+	// Redispatched counts crash-orphaned requests re-queued to the
+	// controller; Shed counts requests dropped after exhausting their
+	// re-dispatch budget.
+	Redispatched, Shed int
+	// Availability is Completed / Requests; Nines is -log10 of the loss.
+	Availability, Nines float64
 
 	// DynamicEnergy, LeakageEnergy and TotalEnergy are the run's IT
 	// joules: per-step switching energy, per-state static energy
@@ -259,6 +304,13 @@ type replica struct {
 	accrued   float64 // wall clock up to which static power is billed
 	kvInUse   int64
 	active    []int32 // running batch: arena indices
+
+	// Fault state (zero when the run injects none).
+	slow      float64         // straggler step multiplier (1 when healthy)
+	down      faults.Interval // next (or crashing) down window
+	haveDown  bool
+	bootTries int     // boot attempts, the boot-failure draw counter
+	repairAt  float64 // repair completion (valid while Repairing)
 }
 
 // controller is the pooled run state.
@@ -430,6 +482,15 @@ func validateConfig(cfg Config) error {
 	if len(cfg.Ladder) == 0 || !cfg.Ladder[0].IsNominal() {
 		return fmt.Errorf("autoscale: ladder must be non-empty with the nominal point first")
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults.Enabled() && cfg.Replica.Faults != nil {
+		return fmt.Errorf("autoscale: Config.Faults and Replica.Faults are mutually exclusive — the controller owns the schedules")
+	}
+	if cfg.MaxRedispatch < 0 {
+		return fmt.Errorf("autoscale: redispatch budget %d must be non-negative", cfg.MaxRedispatch)
+	}
 	return nil
 }
 
@@ -497,6 +558,22 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 		cost := arch.Cost45nm.AtDVFS(p)
 		c.idleLeak = append(c.idleLeak,
 			cfg.Replica.Design.LeakageWatts(cost)*nodes+cfg.Replica.Mesh.LeakageWatts(cost))
+	}
+
+	// Per-replica fault schedules: replica i's crash timeline, straggler
+	// draw and boot-failure stream are a pure function of (Faults.Seed, i),
+	// independent of load — the anchor the determinism contract hangs on.
+	faulty := cfg.Faults.Enabled()
+	var scheds []*faults.Schedule
+	if faulty {
+		scheds = make([]*faults.Schedule, cfg.MaxReplicas)
+		for i := range scheds {
+			s, err := faults.New(cfg.Faults, i)
+			if err != nil {
+				return Report{}, err
+			}
+			scheds[i] = s
+		}
 	}
 
 	lastArrival, err := c.prescan(cfg, tc)
@@ -568,6 +645,9 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 			// instantaneously.
 			rep.ActiveSeconds += dt
 			leakEnergy += c.idleLeak[rp.point] * dt
+		case Failed, Repairing:
+			// Dead silicon: serves nothing, leaks nothing.
+			rep.FailedSeconds += dt
 		}
 	}
 
@@ -595,7 +675,7 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 				idx := c.qpop()
 				rp.kvInUse += need(st.req)
 				res := stepFn(c.params[pt], c.workload(mdl, false, 1, bucket.BucketCtx(st.req.Prompt)))
-				t += res.Seconds
+				t += res.Seconds * rp.slow
 				dynEnergy += res.DynamicEnergy
 				rep.PrefillSteps++
 				st.firstAt = t
@@ -617,7 +697,7 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 				}
 			}
 			res := stepFn(c.params[pt], c.workload(mdl, true, len(rp.active), bucket.BucketCtx(maxCtx)))
-			t += res.Seconds
+			t += res.Seconds * rp.slow
 			dynEnergy += res.DynamicEnergy
 			rep.DecodeSteps++
 			batchSum += len(rp.active)
@@ -645,8 +725,18 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 	}
 
 	// Initial fleet: MinReplicas idle and warm at t=0 (a deployment
-	// starts provisioned), the rest off.
+	// starts provisioned), the rest off. Every replica serves at its
+	// straggler factor (1 when healthy — ×1.0 is bit-exact, so the
+	// fault-free path reproduces the pre-faults bytes).
 	for i := range c.reps {
+		c.reps[i].slow = 1
+		if faulty {
+			if s := scheds[i].Slowdown(); s > 1 {
+				c.reps[i].slow = s
+				rep.Stragglers++
+			}
+			c.reps[i].down, c.reps[i].haveDown = scheds[i].DownAfter(0)
+		}
 		if i < cfg.MinReplicas {
 			c.reps[i].state = Idle
 		}
@@ -670,17 +760,18 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 				booting++
 			case Draining:
 				draining++
-			case Off:
-				// Unpowered: counts toward no pool.
+			case Off, Failed, Repairing:
+				// Unpowered (or dead): counts toward no pool.
 			}
 			inflight += len(c.reps[i].active)
 		}
 		return
 	}
 
-	for rep.Completed < total {
+	for rep.Completed+rep.Shed < total {
 		// Next event time: the earliest of pending arrival, any boot
-		// completion, any round end, and the policy tick.
+		// completion, any round end, any repair completion, any due
+		// crash, and the policy tick.
 		t := nextTick
 		if havePending && pending.Arrival < t {
 			t = pending.Arrival
@@ -693,15 +784,41 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 			if rp.busy && rp.busyUntil < t {
 				t = rp.busyUntil
 			}
+			if rp.state == Repairing && rp.repairAt < t {
+				t = rp.repairAt
+			}
+			if faulty && !rp.busy && rp.haveDown && poweredState(rp.state) && rp.down.Start < t {
+				// A due crash never sits in the past across events (step
+				// 3½ fires it), but clamp defensively so time cannot
+				// rewind.
+				s := rp.down.Start
+				if s < now {
+					s = now
+				}
+				t = s
+			}
 		}
 		now = t
 
-		// 1. Boot completions.
+		// 1. Boot completions (the boot-failure draw decides whether the
+		// attempt sticks) and repair completions (back to Off, so the
+		// policy re-boots through the normal scale-up path).
 		for i := range c.reps {
 			rp := &c.reps[i]
 			if rp.state == Booting && rp.bootReady <= now {
 				accrue(rp, now)
-				rp.state = Idle
+				attempt := rp.bootTries
+				rp.bootTries++
+				if faulty && cfg.Faults.BootFails(i, attempt) {
+					rep.BootFailures++
+					rp.state = Off
+				} else {
+					rp.state = Idle
+				}
+			}
+			if rp.state == Repairing && rp.repairAt <= now {
+				accrue(rp, now)
+				rp.state = Off
 			}
 		}
 		// 2. Arrivals.
@@ -725,8 +842,65 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 				rp.busy = false
 			}
 		}
+		// 3½. Crashes: a powered replica whose down window has opened
+		// fails stop — its in-flight batch is orphaned back to the
+		// controller queue (or shed once its re-dispatch budget is
+		// spent), its KV cache is gone, and it sits dead until the next
+		// tick detects it. A round already in flight commits first (its
+		// results were priced at round start); the crash fires at the
+		// round boundary. Down windows that passed while the replica was
+		// unpowered never fire.
+		if faulty {
+			for i := range c.reps {
+				rp := &c.reps[i]
+				for rp.haveDown && rp.down.End <= now && !poweredState(rp.state) {
+					rp.down, rp.haveDown = scheds[i].DownAfter(rp.down.End)
+				}
+				if rp.haveDown && rp.down.Start <= now && poweredState(rp.state) && !rp.busy {
+					accrue(rp, now)
+					rep.Crashes++
+					for _, idx := range rp.active {
+						st := &c.states[idx]
+						if st.req.Retries >= cfg.MaxRedispatch {
+							rep.Shed++
+							c.release(idx)
+							continue
+						}
+						st.req.Retries++
+						rep.Redispatched++
+						st.generated = 0
+						st.firstAt = 0
+						c.qpush(idx)
+					}
+					rp.active = rp.active[:0]
+					rp.kvInUse = 0
+					rp.state = Failed
+					if q := c.qlen(); q > rep.PeakQueue {
+						rep.PeakQueue = q
+					}
+				}
+			}
+		}
 		// 4. Policy tick.
 		if now >= nextTick {
+			// Failure detection rides the tick: a Failed replica is
+			// noticed now, enters repair, and comes back (as Off) when
+			// its down window ends — or immediately if it already has.
+			if faulty {
+				for i := range c.reps {
+					rp := &c.reps[i]
+					if rp.state != Failed {
+						continue
+					}
+					accrue(rp, now)
+					rp.state = Repairing
+					rp.repairAt = rp.down.End
+					if rp.repairAt < now {
+						rp.repairAt = now
+					}
+					rp.down, rp.haveDown = scheds[i].DownAfter(rp.down.End)
+				}
+			}
 			ready, booting, draining, inflight := countStates()
 			obs := Observation{
 				Now: now, Tick: cfg.Tick,
@@ -780,9 +954,10 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 					rp.state = Active
 					startRound(rp, now)
 				}
-			case Off, Booting:
-				// No work to scan: Off has nothing resident and Booting
-				// replicas join the fleet at their bootReady event.
+			case Off, Booting, Failed, Repairing:
+				// No work to scan: Off has nothing resident, Booting
+				// replicas join the fleet at their bootReady event, and
+				// Failed/Repairing silicon is dead.
 			}
 		}
 	}
@@ -812,6 +987,13 @@ func (c *controller) run(cfg Config, tc serve.TraceConfig, perReplicaRate float6
 	rep.DynamicEnergy = dynEnergy
 	rep.LeakageEnergy = leakEnergy
 	rep.TotalEnergy = dynEnergy + leakEnergy
+	rep.FaultsOn = faulty
+	if faulty {
+		if rep.Requests > 0 {
+			rep.Availability = float64(rep.Completed) / float64(rep.Requests)
+		}
+		rep.Nines = faults.Nines(rep.Availability)
+	}
 	day, err := fleet.PriceDay(cfg.Book, cfg.Replica.Design, cfg.Replica.Mesh,
 		cfg.MaxReplicas, rep.TotalEnergy, rep.Horizon)
 	if err != nil {
@@ -851,9 +1033,10 @@ func (c *controller) apply(cfg Config, dec Decision, now float64,
 		switch c.reps[i].state {
 		case Booting, Idle, Active:
 			powered++
-		case Off, Draining:
+		case Off, Draining, Failed, Repairing:
 			// Off was never powered; Draining is already being charged
-			// down and must not count toward the policy's target.
+			// down; Failed/Repairing silicon is dead until repair returns
+			// it to Off. None count toward the policy's target.
 		}
 	}
 
@@ -957,9 +1140,23 @@ func (c *controller) apply(cfg Config, dec Decision, now float64,
 				rp.point = point
 				rep.DVFSShifts++
 			}
-		case Off, Booting:
+		case Off, Booting, Failed, Repairing:
 			// Off has no operating point; a Booting replica keeps the
-			// point it was assigned when its boot was decided.
+			// point it was assigned when its boot was decided; dead
+			// silicon has no clock to shift.
 		}
+	}
+}
+
+// poweredState reports whether a state has its rail up — the states an
+// injected down window can crash.
+func poweredState(s PowerState) bool {
+	switch s {
+	case Booting, Idle, Active, Draining:
+		return true
+	case Off, Failed, Repairing:
+		return false
+	default:
+		panic("autoscale: unknown power state " + s.String())
 	}
 }

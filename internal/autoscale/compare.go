@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mugi/internal/faults"
 	"mugi/internal/fleet"
 	"mugi/internal/serve"
 )
@@ -53,6 +54,13 @@ func (c Comparison) String() string {
 		d.MeanActiveReplicas, d.ScaleUps, d.ScaleDowns, d.DVFSShifts)
 	fmt.Fprintf(&b, "replica-seconds: active %.0f  idle %.0f  booting %.0f  off %.0f\n",
 		d.ActiveSeconds, d.IdleSeconds, d.BootSeconds, d.OffSeconds)
+	if d.FaultsOn {
+		fmt.Fprintf(&b, "faults: %d crashes  %d boot failures  %d stragglers  %.0f s failed\n",
+			d.Crashes, d.BootFailures, d.Stragglers, d.FailedSeconds)
+		fmt.Fprintf(&b, "availability: dynamic %.4f%% (%s, %d redispatched, %d shed)  static %.4f%% (%s)\n",
+			d.Availability*100, faults.NinesString(d.Availability), d.Redispatched, d.Shed,
+			c.Static.Fleet.Fleet.Availability*100, faults.NinesString(c.Static.Fleet.Fleet.Availability))
+	}
 	fmt.Fprintf(&b, "savings: $%.4f/day (%.1f%%)\n", c.SavingsPerDay, 100*c.SavingsPct)
 	return b.String()
 }
@@ -71,10 +79,12 @@ func RunStatic(cfg Config, tc serve.TraceConfig) (StaticReport, error) {
 		return StaticReport{}, err
 	}
 	frep, err := fleet.Run(fleet.Config{
-		Replica:  cfg.Replica,
-		Replicas: cfg.MaxReplicas,
-		Policy:   fleet.JSQ,
-		Window:   serve.WindowSpec{Width: cfg.WindowWidth, TTFT: cfg.SLO.TTFT, Latency: cfg.SLO.Latency},
+		Replica:       cfg.Replica,
+		Replicas:      cfg.MaxReplicas,
+		Policy:        fleet.JSQ,
+		Window:        serve.WindowSpec{Width: cfg.WindowWidth, TTFT: cfg.SLO.TTFT, Latency: cfg.SLO.Latency},
+		Faults:        cfg.Faults,
+		MaxRedispatch: cfg.MaxRedispatch,
 	}, src)
 	if err != nil {
 		return StaticReport{}, err

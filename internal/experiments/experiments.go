@@ -71,6 +71,7 @@ func Registry() []Entry {
 		{"capacity", "Extension: capacity search (max sustained req/s)", Capacity},
 		{"fleet", "Extension: fleet planner (TCO + price-performance frontiers)", Fleet},
 		{"autoscale", "Extension: online autoscaling with DVFS power states", Autoscale},
+		{"faults", "Extension: fault injection and the price of nines", Faults},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
-		"moe", "online", "serve", "capacity", "fleet", "autoscale"}
+		"moe", "online", "serve", "capacity", "fleet", "autoscale", "faults"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -152,5 +152,22 @@ func TestCapacityContent(t *testing.T) {
 		if strings.Contains(out, bad) {
 			t.Errorf("capacity report contains %q:\n%s", bad, out)
 		}
+	}
+}
+
+// TestFaultsContent: the price-of-nines sweep must render both designs,
+// the pruned frontier, and a cheapest-at-target verdict, with no error
+// rows (the quantitative spares-buy-availability invariant lives in
+// fleet.TestPlanNinesSparesBuyAvailability).
+func TestFaultsContent(t *testing.T) {
+	out := Faults().String()
+	for _, needle := range []string{"Mugi (256)", "SA-F (16)", "availability",
+		"price-of-nines frontier", "cheapest at >=", "crashes", "/1k"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("faults report missing %q", needle)
+		}
+	}
+	if strings.Contains(out, "error:") {
+		t.Errorf("faults report contains an error row:\n%s", out)
 	}
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"mugi/internal/arch"
+	"mugi/internal/faults"
+	"mugi/internal/fleet"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/serve"
+)
+
+// Faults regenerates the price-of-nines sweep: two designs crossed with
+// an N+k spare-capacity axis, all serving the same bursty trace under a
+// harsh seeded failure model (MTBF two minutes, MTTR one minute), then
+// the dominated-point-pruned frontier of $/1k-requests versus
+// availability. The fleet experiment asks "what fleet should I buy?";
+// this one asks "what does each extra nine cost?". Fault draws are
+// counter-hashed per (seed, replica), so the whole sweep is
+// byte-identical at any runner parallelism.
+func Faults() *Report {
+	r := &Report{ID: "faults", Title: "Price of nines: spare capacity under deterministic fault injection"}
+	m := model.Llama2_7B
+	spec := fleet.NinesSpec{
+		Base: serve.Config{Model: m},
+		Cells: []fleet.Cell{
+			{Design: arch.Mugi(256), Mesh: noc.NewMesh(2, 2), Replicas: 2},
+			{Design: arch.SystolicArray(16, true), Mesh: noc.NewMesh(2, 2), Replicas: 2},
+		},
+		Spares:        []int{0, 1, 2},
+		Policy:        fleet.JSQ,
+		Trace:         serve.TraceConfig{Kind: serve.Bursty, Rate: 0.15, Requests: 48, Seed: servingSeed},
+		Faults:        faults.Spec{MTBF: 120, MTTR: 60, Seed: servingSeed},
+		MaxRedispatch: 2,
+	}
+	results := fleet.PlanNines(spec)
+
+	r.Printf("model %s, bursty probes (%d requests, seed %d), jsq routing, %d re-dispatches",
+		m.Name, spec.Trace.Requests, servingSeed, spec.MaxRedispatch)
+	r.Printf("faults: MTBF %.0fs  MTTR %.0fs  seed %d", spec.Faults.MTBF, spec.Faults.MTTR, spec.Faults.Seed)
+	for _, res := range results {
+		r.Printf("%s", res)
+	}
+
+	front := fleet.NinesFrontier(results)
+	r.Printf("-- price-of-nines frontier (%d of %d points survive dominance pruning) --",
+		len(front), len(results))
+	for _, f := range front {
+		r.Printf("%s", f)
+	}
+
+	for _, target := range []float64{0.5, 0.9, 0.99} {
+		if best, ok := fleet.CheapestAtLeast(results, target); ok {
+			r.Printf("cheapest at >= %.2f: %s %s N=%d+%d  $%.4f/1k  availability %.4f%%",
+				target, best.Design, best.Mesh, best.Replicas, best.Spares,
+				best.DollarsPer1k, best.Availability*100)
+		} else {
+			r.Printf("cheapest at >= %.2f: no planned point reaches the target", target)
+		}
+	}
+	return r
+}

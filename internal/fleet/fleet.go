@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"mugi/internal/arch"
+	"mugi/internal/faults"
 	"mugi/internal/noc"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
@@ -66,6 +67,23 @@ type Config struct {
 	// into Report.Windows. Requires Replica.Observe to be nil — the
 	// router owns the hook.
 	Window serve.WindowSpec
+	// Faults, when enabled, injects per-replica fault schedules drawn
+	// from the spec (replica i's timeline is a pure function of
+	// (Faults.Seed, i)), turns routing health-aware (arrivals skip
+	// replicas that are down), and arms failover: requests orphaned by a
+	// crash are re-dispatched to the next live replica after a
+	// deterministic detection delay, at most MaxRedispatch times, then
+	// shed with accounting. Mutually exclusive with Replica.Faults — the
+	// router owns the schedules.
+	Faults faults.Spec
+	// MaxRedispatch bounds failover re-dispatches per request (default
+	// serve.DefaultMaxRedispatch).
+	MaxRedispatch int
+	// FailoverDelay is the crash-detection plus re-dispatch latency in
+	// seconds (default serve.DefaultRetryDelay); attempt k of a request
+	// is re-delivered k*FailoverDelay after the crash that orphaned it —
+	// a deterministic linear backoff.
+	FailoverDelay float64
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -75,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AffinitySessions == 0 {
 		c.AffinitySessions = DefaultAffinitySessions
+	}
+	if c.MaxRedispatch == 0 {
+		c.MaxRedispatch = serve.DefaultMaxRedispatch
+	}
+	if c.FailoverDelay == 0 {
+		c.FailoverDelay = serve.DefaultRetryDelay
 	}
 	return c
 }
@@ -126,10 +150,26 @@ func (r Report) String() string {
 
 // Run routes the stream across the fleet and returns the merged report.
 // Phase 1 routes every request serially (the policy is a pure function of
-// the stream); phase 2 runs each replica's scheduler, sharded across the
-// runner pool by replica index (each replica reuses the pooled zero-alloc
-// scheduler of internal/serve); phase 3 merges per-replica results in
-// index order. The output is byte-identical at any runner parallelism.
+// the stream; with faults enabled it is also health-aware — arrivals skip
+// replicas that are down); phase 2 runs each replica's scheduler, sharded
+// across the runner pool by replica index (each replica reuses the pooled
+// zero-alloc scheduler of internal/serve); phase 3 merges per-replica
+// results in index order.
+//
+// With Config.Faults enabled, phases 2–3 iterate to a failover fixed
+// point: each crash-orphaned attempt is removed from the replica that
+// dropped it and re-dispatched to the next live replica (after the
+// deterministic detection delay, bounded by MaxRedispatch, then shed
+// with accounting), and every replica whose schedule changed re-runs,
+// until a sweep finds no unhandled orphan. The iteration is
+// deterministic and terminates: crash instants are wall-clock anchored
+// (a pure function of the seed and replica index, never of load), each
+// (request, attempt) identity is handled exactly once, and a request
+// has at most MaxRedispatch+1 attempts — so the handled set is bounded
+// and every round with fresh orphans consumes budget. At the fixed
+// point no final report carries an orphan: every arrival is completed
+// or shed somewhere, and the output is byte-identical at any runner
+// parallelism.
 //
 // The router materializes per-replica schedules, so fleet runs hold
 // O(trace length) request records — fleet planning is built around
@@ -142,7 +182,31 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	if cfg.Window.Width > 0 && cfg.Replica.Observe != nil {
 		return Report{}, fmt.Errorf("fleet: Config.Window and Replica.Observe are mutually exclusive")
 	}
-	perReplica, firstArrival, lastArrival, err := route(cfg, src)
+	if cfg.Window.Width < 0 {
+		return Report{}, fmt.Errorf("fleet: window width %g must be non-negative", cfg.Window.Width)
+	}
+	if cfg.MaxRedispatch < 0 || cfg.FailoverDelay < 0 {
+		return Report{}, fmt.Errorf("fleet: failover policy must be non-negative (max redispatch %d, delay %g)", cfg.MaxRedispatch, cfg.FailoverDelay)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return Report{}, err
+	}
+	faulty := cfg.Faults.Enabled()
+	var scheds []*faults.Schedule
+	if faulty {
+		if cfg.Replica.Faults != nil {
+			return Report{}, fmt.Errorf("fleet: Config.Faults and Replica.Faults are mutually exclusive — the router owns the schedules")
+		}
+		scheds = make([]*faults.Schedule, cfg.Replicas)
+		for i := range scheds {
+			s, err := faults.New(cfg.Faults, i)
+			if err != nil {
+				return Report{}, err
+			}
+			scheds[i] = s
+		}
+	}
+	perReplica, originals, firstArrival, lastArrival, err := route(cfg, src, scheds)
 	if err != nil {
 		return Report{}, err
 	}
@@ -154,23 +218,84 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	if cfg.Window.Width > 0 {
 		wins = make([]*serve.Windows, cfg.Replicas)
 	}
-	runner.Map(cfg.Replicas, func(i int) {
-		if len(perReplica[i]) == 0 {
-			return
+	retry := serve.RetryPolicy{MaxRedispatch: cfg.MaxRedispatch, Delay: cfg.FailoverDelay, HandOff: true}
+	// handled keys every orphan already re-dispatched (or shed) by its
+	// stable (request, attempt) identity, so re-runs never double-handle.
+	// Membership tests only — never iterated — so no map-order hazard.
+	type orphanKey struct{ id, retries int }
+	var handled map[orphanKey]bool
+	if faulty {
+		handled = make(map[orphanKey]bool)
+	}
+	dirty := make([]bool, cfg.Replicas)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	shedFailover, redispatched := 0, 0
+	for {
+		// Run every replica whose assignment changed since its last run;
+		// each shard observes into its own window accumulator so the merge
+		// below stays parallelism-independent.
+		torun := make([]int, 0, cfg.Replicas)
+		for i := range dirty {
+			if dirty[i] && len(perReplica[i]) > 0 {
+				torun = append(torun, i)
+			}
+			dirty[i] = false
 		}
-		rcfg := cfg.Replica
-		if wins != nil {
-			// Each shard observes into its own accumulator; the merge
-			// below reads them in index order, keeping the output
-			// parallelism-independent.
-			wins[i] = serve.NewWindows(cfg.Window)
-			rcfg.Observe = wins[i].Observe
+		runner.Map(len(torun), func(k int) {
+			i := torun[k]
+			rcfg := cfg.Replica
+			if faulty {
+				rcfg.Faults = scheds[i]
+				rcfg.Retry = retry
+			}
+			if wins != nil {
+				wins[i] = serve.NewWindows(cfg.Window)
+				rcfg.Observe = wins[i].Observe
+			}
+			stats[i], errs[i] = serve.RunStreamStats(rcfg, &replicaStream{info: info, rs: perReplica[i]})
+		})
+		for _, i := range torun {
+			if errs[i] != nil {
+				return Report{}, fmt.Errorf("fleet: replica %d: %w", i, errs[i])
+			}
 		}
-		stats[i], errs[i] = serve.RunStreamStats(rcfg, &replicaStream{info: info, rs: perReplica[i]})
-	})
-	for i, err := range errs {
-		if err != nil {
-			return Report{}, fmt.Errorf("fleet: replica %d: %w", i, err)
+		if !faulty {
+			break
+		}
+		// Failover: sweep fresh orphans in (replica, crash-order) order and
+		// re-dispatch each to the next live replica after the detection
+		// delay, or shed it once its re-dispatch budget is spent.
+		fresh := false
+		for i := 0; i < cfg.Replicas; i++ {
+			for _, o := range stats[i].Orphans {
+				k := orphanKey{id: o.Req.ID, retries: o.Req.Retries}
+				if handled[k] {
+					continue
+				}
+				handled[k] = true
+				fresh = true
+				// The handled attempt leaves its replica's schedule (and the
+				// replica re-runs without it): failover owns it now, and the
+				// re-run must not serve an attempt re-dispatched elsewhere.
+				removeAttempt(&perReplica[i], o.Req.ID, o.Req.Retries)
+				dirty[i] = true
+				if o.Req.Retries >= cfg.MaxRedispatch {
+					shedFailover++
+					continue
+				}
+				req := o.Req
+				req.Retries++
+				req.Arrival = o.At + float64(req.Retries)*cfg.FailoverDelay
+				t := failoverTarget(scheds, i, req.Arrival)
+				insertByArrival(&perReplica[t], req)
+				dirty[t] = true
+				redispatched++
+			}
+		}
+		if !fresh {
+			break
 		}
 	}
 
@@ -218,21 +343,49 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 		fl.KVQueuedRequests += rep.KVQueuedRequests
 		fl.DynamicEnergy += rep.DynamicEnergy
 		fl.NoCLimitedSteps += rep.NoCLimitedSteps
+		// Availability accounting sums across replicas; hand-off orphans
+		// are intentionally NOT summed — each was re-dispatched (counted
+		// below) or shed at the fleet level, never left dangling.
+		fl.Crashes += rep.Crashes
+		fl.DowntimeSeconds += rep.DowntimeSeconds
+		fl.TransientErrors += rep.TransientErrors
+		fl.Redispatched += rep.Redispatched
+		fl.Shed += rep.Shed
+		fl.ShedOverload += rep.ShedOverload
+		if rep.Slowdown > fl.Slowdown {
+			fl.Slowdown = rep.Slowdown
+		}
 		// Busy-span leakage: this replica's static power over its own
 		// first-arrival-to-last-completion span, not the fleet makespan —
 		// a replica that drains early stops leaking into the bill, which
 		// keeps static-vs-autoscaled $/day comparisons apples-to-apples.
-		leakEnergy += stats[i].LeakageWatts * (stats[i].End - stats[i].FirstArrival)
+		// Downtime inside the span is dead silicon and is not billed.
+		span := stats[i].End - stats[i].FirstArrival
+		if rep.DowntimeSeconds > 0 {
+			span -= rep.DowntimeSeconds
+			if span < 0 {
+				span = 0
+			}
+		}
+		leakEnergy += stats[i].LeakageWatts * span
 		if stats[i].End > end {
 			end = stats[i].End
 		}
 		ttft.Merge(&stats[i].TTFT)
 		tpot.Merge(&stats[i].TPOT)
 		lat.Merge(&stats[i].Latency)
-		if wins != nil {
-			out.Windows.Merge(wins[i])
+		if wins != nil && wins[i] != nil {
+			if err := out.Windows.Merge(wins[i]); err != nil {
+				return Report{}, err
+			}
 		}
 	}
+	// Re-dispatched re-deliveries are not fresh arrivals: the fleet serves
+	// the original stream, so the merged Requests count reverts to it (on
+	// a fault-free run the per-replica sum already equals it).
+	fl.Requests = originals
+	fl.Shed += shedFailover
+	fl.Redispatched += redispatched
 	if lastArrival > 0 {
 		fl.OfferedRate = float64(fl.Requests) / lastArrival
 	}
@@ -250,6 +403,16 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	fl.TotalEnergy = fl.DynamicEnergy + leakEnergy
 	if fl.Completed > 0 {
 		fl.JoulesPerRequest = fl.TotalEnergy / float64(fl.Completed)
+	}
+	fl.FaultsOn = faulty || cfg.Replica.MaxQueue > 0
+	if fl.FaultsOn {
+		if fl.Slowdown == 0 {
+			fl.Slowdown = 1
+		}
+		if fl.Requests > 0 {
+			fl.Availability = float64(fl.Completed) / float64(fl.Requests)
+		}
+		fl.Nines = faults.Nines(fl.Availability)
 	}
 	return out, nil
 }

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"mugi/internal/faults"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 	"mugi/internal/sim"
@@ -129,11 +131,14 @@ func sessionMix(x uint64) uint64 {
 }
 
 // route drains the stream, assigning every request to a replica, and
-// returns the per-replica schedules plus the global arrival envelope.
-// Routing is a single serial pass — deterministic by construction — and
-// requests keep their original arrival times, so all replicas share one
-// simulated clock.
-func route(cfg Config, src serve.Stream) (perReplica [][]serve.Request, firstArrival, lastArrival float64, err error) {
+// returns the per-replica schedules, the request count, and the global
+// arrival envelope. Routing is a single serial pass — deterministic by
+// construction — and requests keep their original arrival times, so all
+// replicas share one simulated clock. With fault schedules supplied the
+// pass is health-aware: an arrival aimed at a replica that is down is
+// bounced to the next live one (JSQ excludes down replicas from its
+// argmin outright), modeling a load balancer with health checks.
+func route(cfg Config, src serve.Stream, scheds []*faults.Schedule) (perReplica [][]serve.Request, count int, firstArrival, lastArrival float64, err error) {
 	n := cfg.Replicas
 	perReplica = make([][]serve.Request, n)
 	var est *estimator
@@ -156,34 +161,100 @@ func route(cfg Config, src serve.Stream) (perReplica [][]serve.Request, firstArr
 		case RoundRobin:
 			target = i % n
 		case JSQ:
-			// Least backlog at the arrival instant; ties go to the lowest
-			// index so the choice is total-ordered.
-			best := 0
-			bestBacklog := backlog(busyUntil[0], r.Arrival)
-			for j := 1; j < n; j++ {
+			// Least backlog among live replicas at the arrival instant;
+			// ties go to the lowest index so the choice is total-ordered.
+			best, bestBacklog := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if scheds != nil && scheds[j].DownAt(r.Arrival) {
+					continue
+				}
 				if b := backlog(busyUntil[j], r.Arrival); b < bestBacklog {
 					best, bestBacklog = j, b
 				}
 			}
+			if best < 0 {
+				// Whole fleet down: queue at the soonest-repaired replica.
+				best = failoverTarget(scheds, n-1, r.Arrival)
+			}
 			target = best
+		case Affinity:
+			sess := uint64(r.ID % cfg.AffinitySessions)
+			target = int(sessionMix(sess) % uint64(n))
+		default:
+			return nil, 0, 0, 0, fmt.Errorf("fleet: unknown policy %v", cfg.Policy)
+		}
+		if scheds != nil && scheds[target].DownAt(r.Arrival) {
+			target = failoverTarget(scheds, target, r.Arrival)
+		}
+		if cfg.Policy == JSQ {
 			start := r.Arrival
 			if busyUntil[target] > start {
 				start = busyUntil[target]
 			}
 			busyUntil[target] = start + est.demand(r)
-		case Affinity:
-			sess := uint64(r.ID % cfg.AffinitySessions)
-			target = int(sessionMix(sess) % uint64(n))
-		default:
-			return nil, 0, 0, fmt.Errorf("fleet: unknown policy %v", cfg.Policy)
 		}
 		perReplica[target] = append(perReplica[target], r)
 		i++
 	}
 	if i == 0 {
-		return nil, 0, 0, fmt.Errorf("fleet: empty trace")
+		return nil, 0, 0, 0, fmt.Errorf("fleet: empty trace")
 	}
-	return perReplica, firstArrival, lastArrival, nil
+	return perReplica, i, firstArrival, lastArrival, nil
+}
+
+// failoverTarget picks where work aimed at (or orphaned by) replica
+// `from` goes at time t: the first replica up at t, scanning from
+// from+1 in index order (wrapping; `from` itself is eligible last, so a
+// repaired replica can take its own work back). If the whole fleet is
+// down at t, the replica whose repair completes soonest wins, ties to
+// the lowest index — every rule is total-ordered, so the choice is
+// deterministic.
+func failoverTarget(scheds []*faults.Schedule, from int, t float64) int {
+	n := len(scheds)
+	for j := 1; j <= n; j++ {
+		r := (from + j) % n
+		if scheds[r].UpAt(t) {
+			return r
+		}
+	}
+	best, bestEnd := from, math.Inf(1)
+	for r := 0; r < n; r++ {
+		if iv, ok := scheds[r].DownAfter(t); ok && iv.Contains(t) && iv.End < bestEnd {
+			best, bestEnd = r, iv.End
+		}
+	}
+	return best
+}
+
+// insertByArrival inserts a re-dispatched request into a replica's
+// schedule keeping arrival order; equal arrivals keep existing entries
+// first, so insertion order (which is deterministic) breaks ties.
+func insertByArrival(rs *[]serve.Request, r serve.Request) {
+	s := append(*rs, r)
+	i := len(s) - 1
+	for i > 0 && s[i-1].Arrival > r.Arrival {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = r
+	*rs = s
+}
+
+// removeAttempt deletes the schedule entry carrying a handled orphan —
+// matched by (ID, Retries), an attempt's stable identity — so the
+// crashed replica's re-run cannot serve an attempt that failover already
+// re-dispatched elsewhere. Without the removal a re-run whose batching
+// was perturbed by incoming re-dispatches could complete the attempt it
+// previously orphaned, double-serving the request.
+func removeAttempt(rs *[]serve.Request, id, retries int) {
+	s := *rs
+	for i := range s {
+		if s[i].ID == id && s[i].Retries == retries {
+			copy(s[i:], s[i+1:])
+			*rs = s[:len(s)-1]
+			return
+		}
+	}
 }
 
 // backlog is how far a replica's virtual clock runs ahead of now.

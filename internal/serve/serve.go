@@ -2,10 +2,12 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
 	"mugi/internal/arch"
+	"mugi/internal/faults"
 	"mugi/internal/model"
 	"mugi/internal/noc"
 	"mugi/internal/runner"
@@ -28,6 +30,49 @@ const DefaultKVBudgetBytes int64 = 8 << 30
 // O(MaxBatch × MaxSeq/CtxBucket) shapes, not O(requests) — at the cost of
 // a ≤ (CtxBucket-1)-token conservative overestimate per step.
 const DefaultCtxBucket = 32
+
+// Failure-handling defaults.
+const (
+	// DefaultMaxRedispatch bounds how many times one request may be
+	// re-dispatched after a failure (crash orphaning or transient error)
+	// before it is shed with accounting.
+	DefaultMaxRedispatch = 2
+	// DefaultRetryDelay is the failure-detection plus re-dispatch latency
+	// in seconds; attempt k is re-delivered k*Delay after its failure, a
+	// deterministic linear backoff.
+	DefaultRetryDelay = 5.0
+)
+
+// RetryPolicy shapes how a faulty run disposes of interrupted work. The
+// zero value means the defaults; it is consulted only when fault
+// injection (Config.Faults) or bounded-queue shedding (Config.MaxQueue)
+// is active.
+type RetryPolicy struct {
+	// MaxRedispatch bounds re-dispatch attempts per request beyond its
+	// first dispatch (default DefaultMaxRedispatch). Work interrupted
+	// past the budget is shed — counted, never silently dropped.
+	MaxRedispatch int
+	// Delay is the failure-detection + re-dispatch latency in seconds
+	// (default DefaultRetryDelay); attempt k is re-delivered k*Delay
+	// after the failure.
+	Delay float64
+	// HandOff, when true, returns crash-orphaned requests to the caller
+	// in RunStats.Orphans instead of retrying them locally after repair —
+	// the fleet router's failover mode, where another replica takes the
+	// work. Transient dispatch errors always retry locally.
+	HandOff bool
+}
+
+// withDefaults materializes the zero-value defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRedispatch == 0 {
+		p.MaxRedispatch = DefaultMaxRedispatch
+	}
+	if p.Delay == 0 {
+		p.Delay = DefaultRetryDelay
+	}
+	return p
+}
 
 // StepFunc computes one pass cost; the default is runner.Simulate so step
 // costs are memoized through the content-keyed cache and sweeps that
@@ -78,6 +123,21 @@ type Config struct {
 	// scheduler knowing about windows. Calls happen inline in the
 	// scheduler loop in completion order.
 	Observe func(r Request, firstAt, doneAt float64)
+	// Faults, when non-nil and active, is this replica's injected fault
+	// schedule (internal/faults): fail-stop crash intervals orphan every
+	// resident request at the first scheduler boundary at or after the
+	// crash instant, and the straggler slowdown multiplies every step's
+	// latency. A schedule drawn from a zero-rate Spec injects nothing and
+	// leaves the run byte-identical to Faults == nil.
+	Faults *faults.Schedule
+	// Retry shapes failure disposal (re-dispatch bounds, detection delay,
+	// local-retry vs hand-off); consulted only under Faults or MaxQueue.
+	Retry RetryPolicy
+	// MaxQueue bounds the admission queue: a fresh arrival that finds
+	// MaxQueue requests already waiting is shed with accounting instead
+	// of queued — graceful degradation under overload, with queued work
+	// keeping priority by age over new arrivals. 0 means unbounded.
+	MaxQueue int
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -145,8 +205,12 @@ type Report struct {
 	Mesh   string
 	Trace  TraceInfo
 
-	// Requests/Completed count the trace and its completions (always equal
-	// on return; the scheduler drains the queue).
+	// Requests/Completed count the trace and its completions. On a
+	// fault-free, unbounded-queue run they are equal on return (the
+	// scheduler drains the queue); under fault injection the accounting
+	// invariant is Completed + Shed + Orphaned == Requests — every
+	// arrival is served, shed with accounting, or handed off, never
+	// silently dropped.
 	Requests, Completed int
 	// OfferedRate is the trace's realized arrival rate (req/s);
 	// SustainedRate is completions over the makespan. Sustained < offered
@@ -186,6 +250,32 @@ type Report struct {
 	// NoCLimitedSteps counts steps throttled by the configured NoC
 	// bandwidth (see sim.Result.NoCLimited).
 	NoCLimitedSteps int
+
+	// FaultsOn marks a run with active fault injection or bounded-queue
+	// shedding. The availability section below (and its lines in String)
+	// exists only then, so fault-free reports stay byte-identical to
+	// earlier releases.
+	FaultsOn bool
+	// Crashes counts fail-stop crash events the run lived through;
+	// DowntimeSeconds sums their scheduled repair spans; Slowdown is the
+	// replica's chronic straggler multiplier (1 when healthy).
+	Crashes         int
+	DowntimeSeconds float64
+	Slowdown        float64
+	// Orphaned counts requests interrupted by a crash and handed back to
+	// the caller for failover (RetryPolicy.HandOff); Redispatched counts
+	// re-deliveries this run absorbed (local crash retries plus transient
+	// retries); TransientErrors counts injected dispatch failures.
+	Orphaned, Redispatched, TransientErrors int
+	// Shed counts requests dropped with accounting — arrivals refused at
+	// a full bounded queue (ShedOverload) plus work whose re-dispatch
+	// budget ran out.
+	Shed, ShedOverload int
+	// Availability is Completed/Requests; Nines is -log10(1-A) (see
+	// faults.Nines). Hand-off orphans are excluded from the denominator —
+	// their fate is decided by the fleet, which recomputes availability
+	// over the merged report.
+	Availability, Nines float64
 }
 
 // String renders the report deterministically.
@@ -214,6 +304,14 @@ func (r Report) String() string {
 		float64(r.PeakKVBytes)/(1<<30), r.PeakQueue, r.KVQueuedRequests)
 	p("energy: %.1f J dynamic  %.1f J total  %.2f J/request  (%d NoC-limited steps)",
 		r.DynamicEnergy, r.TotalEnergy, r.JoulesPerRequest, r.NoCLimitedSteps)
+	if r.FaultsOn {
+		p("availability: %.4f%% (%s)  completed %d/%d",
+			r.Availability*100, faults.NinesString(r.Availability), r.Completed, r.Requests)
+		p("faults: %d crashes  %.1f s down  slowdown x%.2f  %d transient errors",
+			r.Crashes, r.DowntimeSeconds, r.Slowdown, r.TransientErrors)
+		p("accounting: %d redispatched  %d orphaned  %d shed (%d overload, %d retry budget)",
+			r.Redispatched, r.Orphaned, r.Shed, r.ShedOverload, r.Shed-r.ShedOverload)
+	}
 	return b.String()
 }
 
@@ -370,6 +468,22 @@ type RunStats struct {
 	// each replica's own busy span; internal/autoscale charges wall-clock
 	// per power state).
 	LeakageWatts float64
+	// Orphans lists the requests a crash interrupted when
+	// RetryPolicy.HandOff is set, in deterministic (crash-time, admission)
+	// order, for the fleet router to re-dispatch. Empty otherwise.
+	Orphans []Orphan
+}
+
+// Orphan is one request a fail-stop crash interrupted on a hand-off
+// replica: the router's failover unit of work.
+type Orphan struct {
+	// Req is the interrupted request as last dispatched (Req.Retries
+	// counts its failed attempts so far; the router increments it when
+	// re-dispatching).
+	Req Request
+	// At is the crash instant in absolute simulated seconds; a failover
+	// re-delivery arrives RetryPolicy.Delay-scaled after it.
+	At float64
 }
 
 // RunStreamStats is RunStream returning the full RunStats.
@@ -409,6 +523,21 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	if cfg.MaxBatch < 1 {
 		return RunStats{}, fmt.Errorf("serve: max batch %d must be positive", cfg.MaxBatch)
 	}
+	if cfg.KVBudgetBytes < 1 {
+		return RunStats{}, fmt.Errorf("serve: KV budget %d bytes must be positive", cfg.KVBudgetBytes)
+	}
+	if cfg.CtxBucket < 1 {
+		return RunStats{}, fmt.Errorf("serve: context bucket %d must be positive", cfg.CtxBucket)
+	}
+	if cfg.Bandwidth < 0 || cfg.NoCBandwidth < 0 {
+		return RunStats{}, fmt.Errorf("serve: bandwidth must be non-negative (off-chip %g, NoC %g)", cfg.Bandwidth, cfg.NoCBandwidth)
+	}
+	if cfg.MaxQueue < 0 {
+		return RunStats{}, fmt.Errorf("serve: max queue %d must be non-negative", cfg.MaxQueue)
+	}
+	if cfg.Retry.MaxRedispatch < 0 || cfg.Retry.Delay < 0 {
+		return RunStats{}, fmt.Errorf("serve: retry policy must be non-negative (max redispatch %d, delay %g)", cfg.Retry.MaxRedispatch, cfg.Retry.Delay)
+	}
 	perToken := KVBytesPerToken(cfg.Model)
 	need := func(r Request) int64 { return perToken * int64(r.Prompt+r.Output) }
 	validate := func(r Request) error {
@@ -438,6 +567,23 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		Trace: src.Info(), Requests: total,
 	}
 
+	// Fault state: the schedule's nil-safe accessors make the fault-free
+	// path identical to before, and a zero-rate schedule is inert too
+	// (Active is false), so zero-fault injection reproduces the existing
+	// goldens byte for byte.
+	retry := cfg.Retry.withDefaults()
+	faulty := cfg.Faults.Active()
+	slowdown := 1.0
+	var spec faults.Spec
+	if faulty {
+		spec = cfg.Faults.Spec()
+		slowdown = cfg.Faults.Slowdown()
+	}
+	rep.FaultsOn = faulty || cfg.MaxQueue > 0
+	rep.Slowdown = slowdown
+	curDown, haveDown := cfg.Faults.DownAfter(0)
+	var orphans []Orphan
+
 	sc := getScheduler()
 	defer schedPool.Put(sc)
 
@@ -456,16 +602,93 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		batchSum     int
 		leakage      float64
 	)
+	// retryEntry schedules a failed dispatch for re-delivery at readyAt.
+	// Entries are kept in readyAt order by insertion (failures are rare
+	// events; the linear shift is bounded by the pending-retry count).
+	type retryEntry struct {
+		idx     int32
+		readyAt float64
+	}
+	var (
+		retries []retryEntry
+		rhead   int
+	)
+	pushRetry := func(idx int32, readyAt float64) {
+		retries = append(retries, retryEntry{idx: idx, readyAt: readyAt})
+		for i := len(retries) - 1; i > rhead && retries[i].readyAt < retries[i-1].readyAt; i-- {
+			retries[i], retries[i-1] = retries[i-1], retries[i]
+		}
+	}
+	retriesPending := func() bool { return rhead < len(retries) }
+
 	pull := func() error {
 		lastArrival = pending.Arrival
-		rep.PromptTokens += int64(pending.Prompt)
-		rep.OutputTokens += int64(pending.Output)
-		sc.qpush(sc.alloc(pending))
+		if cfg.MaxQueue > 0 && sc.qlen() >= cfg.MaxQueue {
+			// Bounded-queue overload: the freshest arrival is shed with
+			// accounting; already-queued work keeps priority by age.
+			rep.Shed++
+			rep.ShedOverload++
+		} else {
+			rep.PromptTokens += int64(pending.Prompt)
+			rep.OutputTokens += int64(pending.Output)
+			sc.qpush(sc.alloc(pending))
+		}
 		pending, havePending = src.Next()
 		if havePending {
 			return validate(pending)
 		}
 		return nil
+	}
+	// discard gives back the tokens a pulled request carried: token totals
+	// count only work this run actually delivers (or will deliver after a
+	// local retry), so hand-offs and sheds return theirs.
+	discard := func(r Request) {
+		rep.PromptTokens -= int64(r.Prompt)
+		rep.OutputTokens -= int64(r.Output)
+	}
+	// crash loses every resident request at the first scheduler boundary
+	// at or after the scheduled crash instant (a decode round in flight
+	// completes — the loop is iteration-level — but all resident work is
+	// lost). Each orphan is handed off to the caller, re-queued locally
+	// for after the repair, or shed once its re-dispatch budget is gone.
+	crash := func() {
+		rep.Crashes++
+		rep.DowntimeSeconds += curDown.Duration()
+		orphanAt := math.Max(now, curDown.Start)
+		lose := func(idx int32, fromActive bool) {
+			r := &sc.states[idx]
+			if fromActive {
+				kvInUse -= need(r.req)
+			}
+			switch {
+			case retry.HandOff:
+				rep.Orphaned++
+				discard(r.req)
+				orphans = append(orphans, Orphan{Req: r.req, At: orphanAt})
+				sc.release(idx)
+			case r.req.Retries >= retry.MaxRedispatch:
+				rep.Shed++
+				discard(r.req)
+				sc.release(idx)
+			default:
+				req := r.req
+				req.Retries++
+				rep.Redispatched++
+				sc.states[idx] = reqState{req: req}
+				pushRetry(idx, math.Max(orphanAt, curDown.End)+float64(req.Retries)*retry.Delay)
+			}
+		}
+		for _, idx := range sc.active {
+			lose(idx, true)
+		}
+		sc.active = sc.active[:0]
+		for sc.qlen() > 0 {
+			lose(sc.qpop(), false)
+		}
+		if curDown.End > now {
+			now = curDown.End
+		}
+		curDown, haveDown = cfg.Faults.DownAfter(curDown.End)
 	}
 	complete := func(r *reqState) {
 		kvInUse -= need(r.req)
@@ -481,7 +704,9 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	}
 	step := func(w model.Workload) {
 		res := cfg.Simulate(params, w)
-		now += res.Seconds
+		// A straggler stretches wall time; multiplying by exactly 1.0 is
+		// bit-exact, so healthy replicas keep their golden outputs.
+		now += res.Seconds * slowdown
 		rep.DynamicEnergy += res.DynamicEnergy
 		leakage = res.LeakageWatts
 		if res.NoCLimited {
@@ -489,27 +714,62 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		}
 	}
 
-	for rep.Completed < total {
+	for rep.Completed+rep.Shed+rep.Orphaned < total {
+		if haveDown && now >= curDown.Start {
+			crash()
+			continue
+		}
 		for havePending && pending.Arrival <= now {
 			if err := pull(); err != nil {
 				return RunStats{}, err
 			}
 		}
+		for retriesPending() && retries[rhead].readyAt <= now {
+			sc.qpush(retries[rhead].idx)
+			rhead++
+		}
 		if q := sc.qlen(); q > rep.PeakQueue {
 			rep.PeakQueue = q
 		}
 		if len(sc.active) == 0 && sc.qlen() == 0 {
-			if !havePending {
+			next := math.Inf(1)
+			if havePending {
+				next = pending.Arrival
+			}
+			if retriesPending() && retries[rhead].readyAt < next {
+				next = retries[rhead].readyAt
+			}
+			if math.IsInf(next, 1) {
 				return RunStats{}, fmt.Errorf("serve: stream ended after %d of %d requests", rep.Completed, total)
 			}
-			// Idle: jump to the next arrival.
-			now = pending.Arrival
+			// Idle: jump to the next arrival or re-delivery.
+			now = next
 			continue
 		}
 
 		// Admission: prefill queued requests while a slot and budget allow.
 		for sc.qlen() > 0 && len(sc.active) < cfg.MaxBatch {
 			r := &sc.states[sc.qpeek()]
+			if faulty && spec.Transient(r.req.ID, r.req.Retries) {
+				// Injected transient dispatch error: the attempt counter
+				// advances (so the next draw is fresh) and re-delivery
+				// costs the detection delay, or the request is shed once
+				// its budget is spent.
+				idx := sc.qpop()
+				rep.TransientErrors++
+				if r.req.Retries >= retry.MaxRedispatch {
+					rep.Shed++
+					discard(r.req)
+					sc.release(idx)
+					continue
+				}
+				req := r.req
+				req.Retries++
+				rep.Redispatched++
+				sc.states[idx] = reqState{req: req}
+				pushRetry(idx, now+retry.Delay)
+				continue
+			}
 			if kvInUse+need(r.req) > cfg.KVBudgetBytes {
 				if !r.deferred {
 					r.deferred = true
@@ -575,9 +835,25 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	rep.TTFT = sc.ttft.Percentiles()
 	rep.TPOT = sc.tpot.Percentiles()
 	rep.Latency = sc.lat.Percentiles()
-	rep.TotalEnergy = rep.DynamicEnergy + leakage*rep.Makespan
+	// A crashed replica burns no leakage while down, so scheduled
+	// downtime inside the run is not billed (span clamps at zero for the
+	// corner where downtime was accrued outside the makespan envelope).
+	leakSpan := rep.Makespan
+	if rep.DowntimeSeconds > 0 {
+		leakSpan = math.Max(0, leakSpan-rep.DowntimeSeconds)
+	}
+	rep.TotalEnergy = rep.DynamicEnergy + leakage*leakSpan
 	if rep.Completed > 0 {
 		rep.JoulesPerRequest = rep.TotalEnergy / float64(rep.Completed)
+	}
+	if rep.FaultsOn {
+		// Hand-off orphans leave the denominator: their fate is decided
+		// by the fleet router, which recomputes availability over the
+		// merged fleet report.
+		if n := rep.Requests - rep.Orphaned; n > 0 {
+			rep.Availability = float64(rep.Completed) / float64(n)
+		}
+		rep.Nines = faults.Nines(rep.Availability)
 	}
 	// The histograms are copied out before the scheduler returns to the
 	// pool: RunStats owns its populations, the arena is reused.
@@ -586,5 +862,6 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		TTFT:   sc.ttft, TPOT: sc.tpot, Latency: sc.lat,
 		FirstArrival: firstArrival, End: now,
 		LeakageWatts: leakage,
+		Orphans:      orphans,
 	}, nil
 }

@@ -164,10 +164,18 @@ type TraceConfig struct {
 type Request struct {
 	// ID is the arrival index.
 	ID int
-	// Arrival is the arrival time in seconds from trace start.
+	// Arrival is the arrival time in seconds from trace start. A failover
+	// re-dispatch keeps the original latency clock by leaving latency
+	// accounting keyed to the request's first arrival; Arrival itself is
+	// rewritten to the re-delivery time when a router re-dispatches.
 	Arrival float64
 	// Prompt and Output are the token counts.
 	Prompt, Output int
+	// Retries counts prior dispatch attempts that failed (crash orphaning
+	// or transient dispatch errors). Trace generators always emit 0; the
+	// scheduler and the fleet router increment it, and a RetryPolicy
+	// bounds it.
+	Retries int
 }
 
 // Trace is a finite, arrival-ordered request schedule.

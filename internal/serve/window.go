@@ -99,14 +99,14 @@ func (w *Windows) Observe(r Request, firstAt, doneAt float64) {
 }
 
 // Merge folds another accumulator into w window by window. Both sides
-// must share a width — merging differently sliced timelines is a
-// programming error and panics.
-func (w *Windows) Merge(o *Windows) {
+// must share a width — merging differently sliced timelines is reported
+// as an error and merges nothing.
+func (w *Windows) Merge(o *Windows) error {
 	if o == nil || len(o.wins) == 0 {
-		return
+		return nil
 	}
 	if o.spec.Width != w.spec.Width {
-		panic(fmt.Sprintf("serve: merging windows of width %g into width %g", o.spec.Width, w.spec.Width))
+		return fmt.Errorf("serve: cannot merge windows of width %g into width %g", o.spec.Width, w.spec.Width)
 	}
 	w.grow(len(o.wins) - 1)
 	for i, s := range o.wins {
@@ -121,6 +121,7 @@ func (w *Windows) Merge(o *Windows) {
 			d.MaxLatency = s.MaxLatency
 		}
 	}
+	return nil
 }
 
 // Len is the number of windows touched so far.

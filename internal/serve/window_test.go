@@ -56,7 +56,9 @@ func TestWindowsMergeMatchesDirect(t *testing.T) {
 			b.Observe(o.r, o.firstAt, o.doneAt)
 		}
 	}
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.Len() != direct.Len() {
 		t.Fatalf("merged Len = %d, direct %d", a.Len(), direct.Len())
 	}
@@ -65,9 +67,19 @@ func TestWindowsMergeMatchesDirect(t *testing.T) {
 			t.Fatalf("window %d: merged %+v, direct %+v", i, a.At(i), direct.At(i))
 		}
 	}
-	// Merging an empty accumulator is a no-op.
-	a.Merge(NewWindows(spec))
-	a.Merge(nil)
+	// Merging an empty accumulator is a no-op, whatever its width.
+	if err := a.Merge(NewWindows(spec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Merging differently sliced timelines is rejected, not mangled.
+	other := NewWindows(WindowSpec{Width: 30})
+	other.Observe(Request{Arrival: 5}, 5.5, 8)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merging mismatched window widths did not error")
+	}
 	if a.Violated() != direct.Violated() {
 		t.Fatalf("Violated diverged after empty merges")
 	}

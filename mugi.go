@@ -29,6 +29,7 @@ import (
 	"mugi/internal/carbon"
 	"mugi/internal/core"
 	"mugi/internal/experiments"
+	"mugi/internal/faults"
 	"mugi/internal/fleet"
 	"mugi/internal/infer"
 	"mugi/internal/model"
@@ -470,6 +471,50 @@ type AutoscaleComparison = autoscale.Comparison
 func CompareAutoscale(cfg AutoscaleConfig, tc TraceConfig) (AutoscaleComparison, error) {
 	return autoscale.Compare(cfg, tc)
 }
+
+// ---- Fault injection and the price of nines ----
+
+// FaultSpec is the seeded deterministic failure model: fail-stop
+// crashes from MTBF/MTTR, stragglers, boot failures, and transient
+// request errors. A zero-rate spec injects nothing and reproduces the
+// fault-free run byte for byte. Set it on FleetConfig.Faults,
+// AutoscaleConfig.Faults, or NinesSpec.Faults.
+type FaultSpec = faults.Spec
+
+// NinesSpec parameterizes the price-of-nines sweep: fleet cells crossed
+// with an N+k spare-capacity axis, each run against one fixed faulty
+// probe trace and priced by the TCO model.
+type NinesSpec = fleet.NinesSpec
+
+// NinesResult is one (cell, spares) point of the price-of-nines sweep:
+// the faulty fleet report, its availability and nines, and the
+// $/1k-requests price that already contains them (capex charges the
+// spares; throughput counts only completed requests).
+type NinesResult = fleet.NinesResult
+
+// PlanNines runs every (cell, spares) point of the spec against the
+// faulty probe trace and prices it. Deterministic at any runner
+// parallelism.
+func PlanNines(spec NinesSpec) []NinesResult { return fleet.PlanNines(spec) }
+
+// NinesFrontier prunes dominated points and returns the price-of-nines
+// frontier sorted by ascending $/1k-requests: the cheapest way to buy
+// each next increment of availability.
+func NinesFrontier(results []NinesResult) []NinesResult { return fleet.NinesFrontier(results) }
+
+// CheapestNines returns the cheapest planned point whose availability
+// meets the target (e.g. 0.999 for three nines), or ok=false if none
+// does.
+func CheapestNines(results []NinesResult, target float64) (NinesResult, bool) {
+	return fleet.CheapestAtLeast(results, target)
+}
+
+// AvailabilityNines converts an availability fraction into nines:
+// -log10(1-a), so 0.999 → 3.0.
+func AvailabilityNines(availability float64) float64 { return faults.Nines(availability) }
+
+// NinesString renders an availability as a nines label ("3.0 nines").
+func NinesString(availability float64) string { return faults.NinesString(availability) }
 
 // FleetDayCost is a fleet's owning-and-running cost normalized to one
 // day: amortized capex for every owned replica plus the energy and

@@ -168,6 +168,7 @@ func funcDirective(fn *ast.FuncDecl, verb string) (args string, ok bool) {
 var deterministicPkgs = []string{
 	"mugi/internal/sim",
 	"mugi/internal/serve",
+	"mugi/internal/faults",
 	"mugi/internal/fleet",
 	"mugi/internal/autoscale",
 	"mugi/internal/runner",
