@@ -32,7 +32,7 @@ bench:
 # bounded-allocation serving path exceeds its budget. CI runs the same
 # emitter with -benchiters 1 as a smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR8.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR9.json
 
 # Godoc coverage gate: every package and every exported facade symbol
 # documented. A prerequisite of both lint and docs-check; make dedupes

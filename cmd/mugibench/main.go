@@ -7,7 +7,7 @@
 //	mugibench -exp all -parallel 8  # same, fanned over 8 workers
 //	mugibench -exp tab3             # one artifact
 //	mugibench -list                 # available experiment ids
-//	mugibench -json                 # perf trajectory -> BENCH_PR8.json
+//	mugibench -json                 # perf trajectory -> BENCH_PR9.json
 //	mugibench -json -benchiters 1   # CI smoke: 1 iteration per kernel
 package main
 
@@ -27,7 +27,7 @@ func main() {
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonBench := flag.Bool("json", false, "run the hot-path perf benchmarks and write the ns/op + allocs/op trajectory")
-	benchFilePath := flag.String("benchfile", "BENCH_PR8.json", "output path for the -json trajectory")
+	benchFilePath := flag.String("benchfile", "BENCH_PR9.json", "output path for the -json trajectory")
 	benchIters := flag.Int("benchiters", 0, "iterations per -json kernel (0 = auto-calibrate)")
 	flag.Usage = cliusage.Grouped(flag.CommandLine,
 		"mugibench — regenerate the paper's evaluation artifacts.\nUsage: mugibench [mode flag] [flags]",

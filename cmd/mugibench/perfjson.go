@@ -38,32 +38,33 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_PR8.json schema.
+// benchFile is the BENCH_PR9.json schema.
 type benchFile struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
 	// Baseline carries the previous PR's recorded measurements (same
 	// shapes, same machine class) so the file documents the trajectory it
 	// gates, not just the current numbers.
-	Baseline   []benchRecord `json:"baseline_pr6"`
+	Baseline   []benchRecord `json:"baseline_pr8"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// baselinePR6 is the pre-PR trajectory: the measurements recorded in
-// BENCH_PR6.json at the PR 6 commit, carried forward so BENCH_PR8.json
-// stays self-contained. The fleet_faulty_week kernel is new in PR 8 and
+// baselinePR8 is the pre-PR trajectory: the measurements recorded in
+// BENCH_PR8.json at the PR 8 commit, carried forward so BENCH_PR9.json
+// stays self-contained. The flashcrowd_week kernel is new in PR 9 and
 // has no baseline entry.
-var baselinePR6 = []benchRecord{
-	{Name: "vlp_gemm_8x512x512", Iters: 52, NsPerOp: 1340577.923076923, AllocsPerOp: 0},
-	{Name: "decode_step", Iters: 512, NsPerOp: 251302.939453125, AllocsPerOp: 0},
-	{Name: "proxy_loss", Iters: 10, NsPerOp: 8295052.3, AllocsPerOp: 0},
-	{Name: "simulate_decode", Iters: 2000, NsPerOp: 1039.092, AllocsPerOp: 4},
-	{Name: "serve_poisson_cold", Iters: 201, NsPerOp: 509445.9104477612, AllocsPerOp: 374},
-	{Name: "serve_poisson_warm", Iters: 275, NsPerOp: 395419.0363636364, AllocsPerOp: 2},
-	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 11651414200, AllocsPerOp: 6},
-	{Name: "capacity_search", Iters: 9, NsPerOp: 10730473.222222222, AllocsPerOp: 1589},
-	{Name: "autoscale_week", Iters: 1, NsPerOp: 2420109271, AllocsPerOp: 6795},
-	{Name: "fleet_plan", Iters: 2, NsPerOp: 38077216.5, AllocsPerOp: 3498},
+var baselinePR8 = []benchRecord{
+	{Name: "vlp_gemm_8x512x512", Iters: 78, NsPerOp: 1376391.6666666667, AllocsPerOp: 0},
+	{Name: "decode_step", Iters: 512, NsPerOp: 242908.470703125, AllocsPerOp: 0},
+	{Name: "proxy_loss", Iters: 14, NsPerOp: 7053603.428571428, AllocsPerOp: 0},
+	{Name: "simulate_decode", Iters: 2000, NsPerOp: 995.926, AllocsPerOp: 4},
+	{Name: "serve_poisson_cold", Iters: 219, NsPerOp: 472833.7762557078, AllocsPerOp: 374},
+	{Name: "serve_poisson_warm", Iters: 251, NsPerOp: 350516.50996015937, AllocsPerOp: 2},
+	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 10785862597, AllocsPerOp: 6},
+	{Name: "capacity_search", Iters: 11, NsPerOp: 9166251.363636363, AllocsPerOp: 1589},
+	{Name: "autoscale_week", Iters: 1, NsPerOp: 2297576072, AllocsPerOp: 6798},
+	{Name: "fleet_faulty_week", Iters: 1, NsPerOp: 2203276031, AllocsPerOp: 1900},
+	{Name: "fleet_plan", Iters: 2, NsPerOp: 50396071.5, AllocsPerOp: 3614},
 }
 
 // perfKernel is one measurable hot path.
@@ -234,6 +235,31 @@ func perfKernels() []perfKernel {
 		Seed: 42, Period: 86400,
 	}
 
+	// Flash-crowd week: a tenanted two-replica JSQ fleet serving a week
+	// of flash-crowd arrivals (4x surges over a calm baseline) through
+	// the full overload stack — per-class admission, strict-priority
+	// dispatch, brownout ladder, retrying clients — cold cache.
+	crowdCfg := mugi.FleetConfig{
+		Replica: mugi.ServeConfig{
+			Model: mugi.Llama2_7B, Design: mugi.NewMugi(256), Mesh: mugi.NewMesh(2, 2),
+			MaxQueue: 12, MaxBatch: 8,
+			Admission:   &mugi.AdmissionSpec{},
+			Brownout:    &mugi.BrownoutSpec{Steps: mugi.DefaultBrownoutSteps(), HighWater: 8, Dwell: 10},
+			ClientRetry: mugi.ClientRetrySpec{Backoff: 15, MaxAttempts: 2},
+		},
+		Replicas: 2,
+		Policy:   mugi.FleetJSQ,
+	}
+	crowdTrace := mugi.TraceConfig{
+		Kind: mugi.TraceFlashcrowd, Rate: 0.02, Requests: int(0.02 * 7 * 86400),
+		Seed: 42, SurgeFactor: 4, SurgeSpan: 600, SurgePeriod: 7200,
+		Tenants: []mugi.TenantSpec{
+			{Class: mugi.TenantInteractive, Share: 0.3},
+			{Class: mugi.TenantStandard, Share: 0.4},
+			{Class: mugi.TenantBestEffort, Share: 0.3},
+		},
+	}
+
 	// Autoscale week: the full static-vs-dynamic comparison — always-on
 	// JSQ fleet, then the online controller (power states, boot lag,
 	// DVFS) — over a simulated week of diurnal arrivals, cold cache.
@@ -393,6 +419,36 @@ func perfKernels() []perfKernel {
 			},
 		},
 		{
+			name: "flashcrowd_week",
+			// One run is a week of surging arrivals (12k requests, ~7k
+			// surge-phase extras) through the full overload stack.
+			// Admission, brownout and retry state are per-replica and
+			// per-run, never per request: the budget sits well under one
+			// alloc per original request.
+			fixedIters:   1,
+			maxAllocRuns: 1,
+			maxAllocs:    10_000,
+			op: func() {
+				mugi.ResetSimCache()
+				src, err := mugi.NewTraceStream(crowdTrace)
+				if err != nil {
+					panic(err)
+				}
+				rep, err := mugi.RunFleet(crowdCfg, src)
+				if err != nil {
+					panic(err)
+				}
+				f := rep.Fleet
+				if f.Completed+f.Shed+f.Orphaned != f.Requests {
+					panic(fmt.Sprintf("flashcrowd_week leaked requests: %d+%d+%d != %d",
+						f.Completed, f.Shed, f.Orphaned, f.Requests))
+				}
+				if !f.OverloadOn || !f.TenantsOn {
+					panic("flashcrowd_week ran without the overload stack")
+				}
+			},
+		},
+		{
 			name: "fleet_plan",
 			// The planner allocates per probe (routed schedules, reports,
 			// frontier copies) but never per scheduler step: the budget is
@@ -431,7 +487,7 @@ func seedFill(data []float32, std float64) {
 // It returns an error if any zero-allocation path allocated.
 func runPerfJSON(path string, iters, parallel int) error {
 	runner.SetParallelism(parallel)
-	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR6}
+	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR8}
 	var regressions []string
 	for _, k := range perfKernels() {
 		rec := measure(k, iters)

@@ -4,8 +4,10 @@
 // -capacity, a fleet plan (TCO + price-performance frontiers) with
 // -fleet, a static-vs-online autoscaling comparison with -autoscale, a
 // price-of-nines sweep (N+k spare capacity under fault injection) with
-// -faults, or — with -all — the full experiment registry fanned across
-// the concurrent sweep runner.
+// -faults, a graceful-degradation demo (flash crowd vs tenanted
+// admission control, priced by class) with -overload, or — with -all —
+// the full experiment registry fanned across the concurrent sweep
+// runner.
 //
 // Usage:
 //
@@ -16,6 +18,8 @@
 //	mugisim -fleet -designs mugi,saf -meshes 1x1,2x2 -replicas 1,2,4 -policy jsq
 //	mugisim -autoscale                  # static plan vs online controller, one week
 //	mugisim -faults -spares 0,1,2 -mtbf 120 -mttr 60 -nines 0.99
+//	mugisim -overload -surge 4          # flash crowd vs admission control, priced
+//	mugisim -overload -breaker 0.1      # ... plus circuit breakers over faults
 //	mugisim -all -parallel 8            # every paper artifact, 8 workers
 //
 // See docs/CLI.md for the full flag reference and recipes.
@@ -47,6 +51,7 @@ var usageGroups = []cliusage.Group{
 	{Title: "fleet planning (-fleet)", Flags: []string{"fleet", "replicas", "policy", "slo-ttft", "slo-latency", "utilization"}},
 	{Title: "fleet autoscaling (-autoscale)", Flags: []string{"autoscale", "week", "max-replicas", "min-replicas"}},
 	{Title: "price of nines (-faults)", Flags: []string{"faults", "mtbf", "mttr", "straggler", "spares", "nines"}},
+	{Title: "graceful degradation (-overload)", Flags: []string{"overload", "tenants", "surge", "brownout", "breaker"}},
 	{Title: "full registry (-all)", Flags: []string{"all"}},
 	{Title: "shared"},
 }
@@ -88,6 +93,11 @@ func main() {
 	straggler := flag.Float64("straggler", 0, "faults: probability a replica is a straggler (slowed rounds)")
 	sparesCSV := flag.String("spares", "0,1,2", "faults: comma-separated spare counts for the N+k axis")
 	ninesTarget := flag.Float64("nines", 0.99, "faults: availability target for the cheapest-config verdict, in (0,1]")
+	overloadMode := flag.Bool("overload", false, "demo graceful degradation: a flash crowd against tenanted admission control, priced by class")
+	tenantsStr := flag.String("tenants", "interactive:0.3,standard:0.4,best-effort:0.3", "overload: tenant mix as class:share[,class:share...]")
+	surge := flag.Float64("surge", 4, "overload: surge factor over the baseline rate (must exceed 1)")
+	brownoutLadder := flag.Int("brownout", 3, "overload: brownout ladder depth, 1..3 rungs")
+	breakerThreshold := flag.Float64("breaker", 0, "overload: circuit-breaker downtime threshold in (0,1] (0 = breakers off; arms -mtbf/-mttr faults)")
 	flag.Usage = cliusage.Grouped(flag.CommandLine,
 		"mugisim — architecture, serving, capacity, and fleet simulations.\nUsage: mugisim [mode flag] [flags]",
 		usageGroups)
@@ -98,13 +108,16 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	modes := 0
-	for _, on := range []bool{*all, *serveMode, *capacityMode, *fleetMode, *autoscaleMode, *faultsMode} {
+	for _, on := range []bool{*all, *serveMode, *capacityMode, *fleetMode, *autoscaleMode, *faultsMode, *overloadMode} {
 		if on {
 			modes++
 		}
 	}
 	if err := validateFlags(modes, *minReplicas, *maxReplicas, *rate, *requests,
 		*parallel, *mtbf, *mttr, *straggler, *ninesTarget); err != nil {
+		usageError(err)
+	}
+	if err := validateOverloadFlags(*overloadMode, set["surge"], *surge, *brownoutLadder, *breakerThreshold); err != nil {
 		usageError(err)
 	}
 
@@ -170,6 +183,33 @@ func main() {
 		runFaults(*designsCSV, *meshesCSV, *replicasCSV, *sparesCSV, *rows, *modelName,
 			*traceKind, *lengths, *policyName, *rate, *requests, *traceSeed,
 			*maxBatch, *kvBudgetGB, *mtbf, *mttr, *straggler, *ninesTarget, *parallel)
+		return
+	}
+	if *overloadMode {
+		// The overload demo fields a flash crowd against a small tenanted
+		// fleet whose admission controller has real work to do; explicit
+		// flags always win.
+		if !set["trace"] {
+			*traceKind = "flashcrowd"
+		}
+		if !set["model"] {
+			*modelName = "Llama 2 7B"
+		}
+		if !set["mesh"] {
+			*meshStr = "4x4"
+		}
+		if !set["rate"] {
+			*rate = 0.5
+		}
+		if !set["requests"] {
+			*requests = 600
+		}
+		if !set["seed"] {
+			*traceSeed = 7
+		}
+		runOverload(*design, *rows, *meshStr, *modelName, *traceKind, *lengths, *tenantsStr,
+			*rate, *surge, *requests, *traceSeed, *maxBatch, *kvBudgetGB,
+			*brownoutLadder, *breakerThreshold, *mtbf, *mttr, *parallel)
 		return
 	}
 	if *capacityMode {
@@ -538,6 +578,102 @@ func runFaults(designsCSV, meshesCSV, replicasCSV, sparesCSV string, rows int,
 	}
 }
 
+// runOverload fields a surging tenanted trace against a two-replica
+// fleet armed with admission control, strict-priority dispatch and a
+// brownout ladder, then prices the isolation premium against the same
+// silicon run as a shared best-effort fleet. With -breaker above zero
+// the fleet also injects -mtbf/-mttr faults and arms per-replica
+// circuit breakers over them.
+func runOverload(designName string, rows int, meshStr, modelName, traceKind, lengths,
+	tenantsStr string, rate, surge float64, requests int, seed int64,
+	maxBatch int, kvBudgetGB float64, brownoutLadder int,
+	breakerThreshold, mtbf, mttr float64, parallel int) {
+	d, err := buildDesign(designName, rows)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := model.ByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	mesh, err := parseMesh(meshStr)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := mugi.ParseTraceKind(traceKind)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := mugi.ParseLengthProfile(lengths)
+	if err != nil {
+		fatal(err)
+	}
+	tenants, err := mugi.ParseTenants(tenantsStr)
+	if err != nil {
+		fatal(err)
+	}
+	if parallel != 0 {
+		runner.SetParallelism(parallel)
+	}
+	if maxBatch == 0 {
+		// Uncapped, overload pools inside the KV-limited decode batch and
+		// the queue — the admission controller's whole domain — stays empty.
+		maxBatch = 8
+	}
+	replica := mugi.ServeConfig{
+		Model: m, Design: d, Mesh: mesh,
+		MaxQueue: 12, MaxBatch: maxBatch,
+		KVBudgetBytes: int64(kvBudgetGB * (1 << 30)),
+		Admission:     &mugi.AdmissionSpec{},
+		Brownout: &mugi.BrownoutSpec{
+			Steps: mugi.DefaultBrownoutSteps()[:brownoutLadder], HighWater: 8, Dwell: 10,
+		},
+	}
+	fleetCfg := mugi.FleetConfig{Replica: replica, Replicas: 2, Policy: mugi.FleetJSQ}
+	if breakerThreshold > 0 {
+		fleetCfg.Faults = mugi.FaultSpec{MTBF: mtbf, MTTR: mttr, Seed: seed}
+		fleetCfg.MaxRedispatch = 2
+		fleetCfg.Breaker = &mugi.BreakerSpec{Window: 300, Threshold: breakerThreshold, Cooldown: 60, Probes: 1}
+	}
+	spec := mugi.PrioritySpec{
+		Fleet: fleetCfg,
+		Trace: mugi.TraceConfig{
+			Kind: kind, Rate: rate, Requests: requests, Seed: seed, Lengths: profile,
+			SurgeFactor: surge, SurgeSpan: 120, SurgePeriod: 600,
+			Tenants: tenants,
+		},
+	}
+	spec.SLOs[mugi.TenantInteractive] = mugi.ClassSLO{TTFTP99: 15, LatencyP99: 60}
+	spec.SLOs[mugi.TenantStandard] = mugi.ClassSLO{TTFTP99: 60, LatencyP99: 120}
+	spec.SLOs[mugi.TenantBestEffort] = mugi.ClassSLO{LatencyP99: 900}
+	res, err := mugi.PlanPriority(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graceful degradation: %s, %s %s x2, %s traffic %.2f req/s with %gx surges, seed %d\n",
+		m.Name, d.Name, mesh, traceKind, rate, surge, seed)
+	fmt.Print(res.String())
+	tf := res.Tenanted.Fleet
+	fmt.Printf("degradation under the surge: %d evicted  %d degraded  %d shed  brownout max level %d (%.0f s)\n",
+		tf.Evicted, tf.Degraded, tf.Shed, tf.BrownoutMaxLevel, tf.BrownoutSeconds)
+	if breakerThreshold > 0 {
+		trips := 0
+		for _, n := range res.Tenanted.BreakerTrips {
+			trips += n
+		}
+		fmt.Printf("circuit breakers (MTBF %gs, MTTR %gs, threshold %.0f%%): %d trips %v  availability %.4f\n",
+			mtbf, mttr, breakerThreshold*100, trips, res.Tenanted.BreakerTrips, tf.Availability)
+	}
+	sf := res.Shared.Fleet
+	slo := spec.SLOs[mugi.TenantInteractive]
+	verdict := "MISSED"
+	if slo.Met(sf.TTFT.P99, sf.Latency.P99) {
+		verdict = "met"
+	}
+	fmt.Printf("shared fleet tail everyone shares: ttft p99 %.2f s  latency p99 %.2f s  (interactive slo %gs: %s)\n",
+		sf.TTFT.P99, sf.Latency.P99, slo.TTFTP99, verdict)
+}
+
 // runAll regenerates the full registry on the bounded worker pool and
 // prints each artifact in paper order, followed by the cache accounting.
 func runAll(parallel int) {
@@ -631,7 +767,7 @@ func parseCounts(csv string, floor int) ([]int, error) {
 func validateFlags(modes, minReplicas, maxReplicas int, rate float64, requests,
 	parallel int, mtbf, mttr, straggler, ninesTarget float64) error {
 	if modes > 1 {
-		return fmt.Errorf("choose one mode flag: -all, -serve, -capacity, -fleet, -autoscale, or -faults")
+		return fmt.Errorf("choose one mode flag: -all, -serve, -capacity, -fleet, -autoscale, -faults, or -overload")
 	}
 	if maxReplicas > 0 && minReplicas > maxReplicas {
 		return fmt.Errorf("-min-replicas %d exceeds -max-replicas %d", minReplicas, maxReplicas)
@@ -656,6 +792,26 @@ func validateFlags(modes, minReplicas, maxReplicas int, rate float64, requests,
 	}
 	if ninesTarget <= 0 || ninesTarget > 1 {
 		return fmt.Errorf("-nines %g must be an availability in (0,1]", ninesTarget)
+	}
+	return nil
+}
+
+// validateOverloadFlags rejects overload-flag contradictions: -surge
+// spelled out without the mode it shapes, a brownout ladder with no
+// rungs (or more rungs than the built-in ladder has), and a breaker
+// threshold outside its (0,1] domain.
+func validateOverloadFlags(overloadMode, surgeSet bool, surge float64, brownoutLadder int, breakerThreshold float64) error {
+	if surgeSet && !overloadMode {
+		return fmt.Errorf("-surge only shapes the -overload flash crowd; add -overload")
+	}
+	if overloadMode && surge <= 1 {
+		return fmt.Errorf("-surge %g must exceed 1 (it multiplies the baseline rate)", surge)
+	}
+	if brownoutLadder < 1 || brownoutLadder > 3 {
+		return fmt.Errorf("-brownout %d must be a ladder depth in 1..3", brownoutLadder)
+	}
+	if breakerThreshold < 0 || breakerThreshold > 1 {
+		return fmt.Errorf("-breaker %g must be a downtime fraction in (0,1], or 0 to disable", breakerThreshold)
 	}
 	return nil
 }

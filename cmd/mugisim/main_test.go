@@ -125,6 +125,39 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestValidateOverloadFlags pins the overload-flag rejections: -surge
+// without -overload, a brownout ladder with zero rungs (or more than
+// the built-in ladder has), and breaker thresholds outside (0,1].
+func TestValidateOverloadFlags(t *testing.T) {
+	cases := []struct {
+		name                   string
+		overloadMode, surgeSet bool
+		surge                  float64
+		brownoutLadder         int
+		breakerThreshold       float64
+		wantErr                bool
+	}{
+		{name: "defaults no mode", surge: 4, brownoutLadder: 3},
+		{name: "overload defaults", overloadMode: true, surge: 4, brownoutLadder: 3},
+		{name: "surge with overload", overloadMode: true, surgeSet: true, surge: 6, brownoutLadder: 3},
+		{name: "breaker armed", overloadMode: true, surge: 4, brownoutLadder: 3, breakerThreshold: 0.1},
+		{name: "breaker at one", overloadMode: true, surge: 4, brownoutLadder: 3, breakerThreshold: 1},
+		{name: "shallow ladder", overloadMode: true, surge: 4, brownoutLadder: 1},
+		{name: "surge without overload", surgeSet: true, surge: 6, brownoutLadder: 3, wantErr: true},
+		{name: "surge below one", overloadMode: true, surge: 0.5, brownoutLadder: 3, wantErr: true},
+		{name: "zero-rung ladder", overloadMode: true, surge: 4, brownoutLadder: 0, wantErr: true},
+		{name: "ladder too deep", overloadMode: true, surge: 4, brownoutLadder: 4, wantErr: true},
+		{name: "breaker above one", overloadMode: true, surge: 4, brownoutLadder: 3, breakerThreshold: 1.5, wantErr: true},
+		{name: "negative breaker", overloadMode: true, surge: 4, brownoutLadder: 3, breakerThreshold: -0.1, wantErr: true},
+	}
+	for _, c := range cases {
+		err := validateOverloadFlags(c.overloadMode, c.surgeSet, c.surge, c.brownoutLadder, c.breakerThreshold)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: got err %v, want error=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
 // TestParseCounts covers the CSV count parser behind -replicas and
 // -spares.
 func TestParseCounts(t *testing.T) {

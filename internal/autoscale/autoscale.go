@@ -470,6 +470,9 @@ func validateConfig(cfg Config) error {
 	if !cfg.Replica.DVFS.IsNominal() {
 		return fmt.Errorf("autoscale: Replica.DVFS must be nominal — the controller owns the operating point")
 	}
+	if cfg.Replica.Admission != nil || cfg.Replica.Brownout != nil || cfg.Replica.ClientRetry.Enabled() {
+		return fmt.Errorf("autoscale: Replica admission/brownout/client-retry must be unset — overload control and autoscaling both steer capacity, compose them through fleet.Run")
+	}
 	if cfg.MinReplicas < 1 {
 		return fmt.Errorf("autoscale: min replicas %d must be at least 1", cfg.MinReplicas)
 	}

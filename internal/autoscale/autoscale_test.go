@@ -8,6 +8,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/overload"
 	"mugi/internal/raceflag"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
@@ -219,6 +220,11 @@ func TestRunValidates(t *testing.T) {
 			c.Replica.Observe = func(serve.Request, float64, float64) {}
 		}},
 		{"dvfs set", func(c *Config) { c.Replica.DVFS = arch.DVFSStep("p50", 0.5) }},
+		{"admission set", func(c *Config) { c.Replica.Admission = &overload.AdmissionSpec{} }},
+		{"brownout set", func(c *Config) {
+			c.Replica.Brownout = &overload.BrownoutSpec{Steps: overload.DefaultBrownoutSteps()}
+		}},
+		{"client retry set", func(c *Config) { c.Replica.ClientRetry = overload.ClientRetrySpec{MaxAttempts: 2} }},
 		{"min zero", func(c *Config) { c.MinReplicas = -1 }},
 		{"max below min", func(c *Config) { c.MinReplicas = 3; c.MaxReplicas = 2 }},
 		{"max huge", func(c *Config) { c.MaxReplicas = MaxControllerReplicas + 1 }},

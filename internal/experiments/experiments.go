@@ -72,6 +72,7 @@ func Registry() []Entry {
 		{"fleet", "Extension: fleet planner (TCO + price-performance frontiers)", Fleet},
 		{"autoscale", "Extension: online autoscaling with DVFS power states", Autoscale},
 		{"faults", "Extension: fault injection and the price of nines", Faults},
+		{"overload", "Extension: graceful degradation under overload (flash crowds, retry storms, price of priority)", Overload},
 	}
 }
 

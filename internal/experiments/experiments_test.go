@@ -8,7 +8,8 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
-		"moe", "online", "serve", "capacity", "fleet", "autoscale", "faults"}
+		"moe", "online", "serve", "capacity", "fleet", "autoscale", "faults",
+		"overload"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -169,5 +170,23 @@ func TestFaultsContent(t *testing.T) {
 	}
 	if strings.Contains(out, "error:") {
 		t.Errorf("faults report contains an error row:\n%s", out)
+	}
+}
+
+// TestOverloadContent: the graceful-degradation experiment must render
+// all three acts — the priced flash crowd, the retry storm with and
+// without admission control, and breakers under faults (the
+// quantitative invariants live in serve/fleet/overload's own tests).
+func TestOverloadContent(t *testing.T) {
+	out := Overload().String()
+	for _, needle := range []string{"class interactive", "isolation premium",
+		"brownout", "retry storm", "token buckets", "circuit breakers",
+		"trips", "/1k"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("overload report missing %q", needle)
+		}
+	}
+	if strings.Contains(out, "error:") {
+		t.Errorf("overload report contains an error row:\n%s", out)
 	}
 }

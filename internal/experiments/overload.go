@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"mugi/internal/arch"
+	"mugi/internal/faults"
+	"mugi/internal/fleet"
+	"mugi/internal/model"
+	"mugi/internal/noc"
+	"mugi/internal/overload"
+	"mugi/internal/serve"
+)
+
+// overloadTenants is the demo's tenant mix: a latency-sensitive
+// interactive minority, a standard majority, and a best-effort batch
+// tail.
+func overloadTenants() []serve.TenantSpec {
+	return []serve.TenantSpec{
+		{Class: overload.Interactive, Share: 0.3},
+		{Class: overload.Standard, Share: 0.4},
+		{Class: overload.BestEffort, Share: 0.3},
+	}
+}
+
+// Overload demonstrates graceful degradation under overload in three
+// acts. Act one sends a flash crowd (4x surges over a calm baseline) at
+// a tenanted two-replica fleet with admission control, strict-priority
+// dispatch and a brownout ladder, then prices the isolation premium
+// with the price-of-priority planner. Act two replays a retry storm —
+// shed requests re-arrive after client backoff, the metastable-failure
+// feedback loop — with and without per-class token buckets. Act three
+// arms per-replica circuit breakers over injected faults. Every run is
+// seeded and byte-identical at any runner parallelism.
+func Overload() *Report {
+	r := &Report{ID: "overload", Title: "Graceful degradation: flash crowds, retry storms, and the price of priority"}
+	m := model.Llama2_7B
+	design, mesh := arch.Mugi(256), noc.NewMesh(4, 4)
+
+	// -- Act one: flash crowd against the tenanted fleet --
+	replica := serve.Config{
+		Model: m, Design: design, Mesh: mesh,
+		MaxQueue: 12, MaxBatch: 8,
+		Admission: &overload.AdmissionSpec{},
+		Brownout:  &overload.BrownoutSpec{Steps: overload.DefaultBrownoutSteps(), HighWater: 8, Dwell: 10},
+	}
+	spec := fleet.PrioritySpec{
+		Fleet: fleet.Config{Replica: replica, Replicas: 2, Policy: fleet.JSQ},
+		Trace: serve.TraceConfig{
+			Kind: serve.Flashcrowd, Rate: 0.5, Requests: 600, Seed: servingSeed,
+			SurgeFactor: 4, SurgeSpan: 120, SurgePeriod: 600,
+			Tenants: overloadTenants(),
+		},
+		SLOs: [overload.NumClasses]overload.SLO{
+			overload.Interactive: {TTFTP99: 15, LatencyP99: 60},
+			overload.Standard:    {TTFTP99: 60, LatencyP99: 120},
+			overload.BestEffort:  {LatencyP99: 900},
+		},
+	}
+	res, err := fleet.PlanPriority(spec)
+	if err != nil {
+		r.Printf("price-of-priority run failed: %v", err)
+		return r
+	}
+	r.Printf("model %s, %s %s x2, jsq routing, flash crowd %.1f req/s with %gx surges (%gs every %gs, seed %d)",
+		m.Name, design.Name, mesh, spec.Trace.Rate, spec.Trace.SurgeFactor,
+		spec.Trace.SurgeSpan, spec.Trace.SurgePeriod, servingSeed)
+	r.Printf("%s", res)
+	tf := res.Tenanted.Fleet
+	r.Printf("degradation under the surge: %d evicted  %d degraded  %d shed  brownout max level %d (%.0f s)",
+		tf.Evicted, tf.Degraded, tf.Shed, tf.BrownoutMaxLevel, tf.BrownoutSeconds)
+	sf := res.Shared.Fleet
+	r.Printf("shared fleet tail everyone shares: ttft p99 %.2f s  latency p99 %.2f s  (interactive slo %.0f s: %s)",
+		sf.TTFT.P99, sf.Latency.P99, spec.SLOs[overload.Interactive].TTFTP99,
+		verdict(spec.SLOs[overload.Interactive].Met(sf.TTFT.P99, sf.Latency.P99)))
+
+	// -- Act two: retry storm, with and without admission control --
+	stormBase := serve.Config{
+		Model: m, Design: design, Mesh: mesh,
+		MaxQueue: 10, MaxBatch: 8,
+		ClientRetry: overload.ClientRetrySpec{Backoff: 15, MaxAttempts: 4},
+	}
+	stormTrace := serve.TraceConfig{
+		Kind: serve.Retrystorm, Rate: 0.4, Requests: 400, Seed: servingSeed,
+		SurgeFactor: 6, SurgeSpan: 60, SurgePeriod: 300,
+		Tenants: overloadTenants(),
+	}
+	r.Printf("")
+	r.Printf("retry storm: %gx pulse for %gs at t=%gs, clients back off %gs and retry up to %d times",
+		stormTrace.SurgeFactor, stormTrace.SurgeSpan, stormTrace.SurgePeriod,
+		stormBase.ClientRetry.Backoff, stormBase.ClientRetry.MaxAttempts)
+	for _, admit := range []bool{false, true} {
+		cfg := stormBase
+		label := "no admission control (shed-and-retry feedback runs open-loop)"
+		if admit {
+			cfg.Admission = &overload.AdmissionSpec{Buckets: [overload.NumClasses]overload.TokenBucket{
+				overload.Interactive: {Rate: 0.25, Burst: 5},
+				overload.Standard:    {Rate: 0.2, Burst: 5},
+				overload.BestEffort:  {Rate: 0.1, Burst: 3},
+			}}
+			label = "per-class token buckets (storm shed early, priority preserved)"
+		}
+		tr, err := serve.NewTrace(stormTrace)
+		if err != nil {
+			r.Printf("storm trace failed: %v", err)
+			return r
+		}
+		rep, err := serve.Run(cfg, tr)
+		if err != nil {
+			r.Printf("storm run failed: %v", err)
+			return r
+		}
+		r.Printf("-- %s --", label)
+		r.Printf("   fleet: availability %.3f  %d client retries  %d shed  makespan %.0f s  latency p99 %.1f s",
+			float64(rep.Completed)/float64(rep.Requests), rep.ClientRetries, rep.Shed,
+			rep.Makespan, rep.Latency.P99)
+		for _, c := range overload.Classes() {
+			cs := rep.Classes[c]
+			r.Printf("   %-11s availability %.3f  shed %d of %d",
+				c, float64(cs.Completed)/float64(cs.Requests), cs.Shed, cs.Requests)
+		}
+	}
+
+	// -- Act three: circuit breakers over injected faults --
+	bcfg := fleet.Config{
+		Replica:       serve.Config{Model: m, Design: design, Mesh: noc.NewMesh(2, 2)},
+		Replicas:      3,
+		Policy:        fleet.JSQ,
+		Faults:        faults.Spec{MTBF: 120, MTTR: 60, Seed: servingSeed},
+		MaxRedispatch: 2,
+		Breaker:       &overload.BreakerSpec{Window: 300, Threshold: 0.1, Cooldown: 60, Probes: 1},
+	}
+	src, err := serve.NewStream(serve.TraceConfig{
+		Kind: serve.Bursty, Rate: 0.15, Requests: 48, Seed: servingSeed, Tenants: overloadTenants(),
+	})
+	if err != nil {
+		r.Printf("breaker trace failed: %v", err)
+		return r
+	}
+	brep, err := fleet.Run(bcfg, src)
+	if err != nil {
+		r.Printf("breaker run failed: %v", err)
+		return r
+	}
+	r.Printf("")
+	r.Printf("circuit breakers under faults (MTBF %.0fs, MTTR %.0fs, window %.0fs, threshold %.0f%%):",
+		bcfg.Faults.MTBF, bcfg.Faults.MTTR, bcfg.Breaker.Window, bcfg.Breaker.Threshold*100)
+	trips := 0
+	for _, n := range brep.BreakerTrips {
+		trips += n
+	}
+	r.Printf("   %d trips across %d replicas %v  availability %.4f  %d crashes  %d redispatched",
+		trips, bcfg.Replicas, brep.BreakerTrips, brep.Fleet.Availability, brep.Fleet.Crashes, brep.Fleet.Redispatched)
+	for _, c := range overload.Classes() {
+		cs := brep.Fleet.Classes[c]
+		r.Printf("   %-11s %d req  %d done  %d shed (class survives hand-off re-dispatch)",
+			c, cs.Requests, cs.Completed, cs.Shed)
+	}
+	return r
+}
+
+// verdict renders an SLO check.
+func verdict(met bool) string {
+	if met {
+		return "met"
+	}
+	return "MISSED"
+}

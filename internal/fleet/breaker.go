@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"mugi/internal/faults"
+	"mugi/internal/overload"
+)
+
+// breakerSet drives one overload.Breaker per replica during the serial
+// routing pass. The failure signal is each replica's injected fault
+// schedule: as the routing clock passes a crash's start instant the
+// breaker observes the downtime interval (accruing only its elapsed
+// part — never clairvoyantly), so breaker behavior is a pure function
+// of (fault seed, arrival sequence) and byte-identical at any
+// parallelism.
+//
+// Routing advances strictly by arrival time; the later failover sweep
+// visits arbitrary re-dispatch times, so the set also records each
+// breaker's open spans as they happen and answers blockedAt queries
+// from that record instead of replaying state.
+type breakerSet struct {
+	spec    overload.BreakerSpec
+	bs      []*overload.Breaker
+	scheds  []*faults.Schedule
+	cursor  []float64    // per-replica crash-feed position
+	open    []bool       // currently inside an open span
+	openAt  []float64    // start of the current open span
+	blocked [][2]float64 // closed open-spans, tagged by replica below
+	owner   []int        // blocked[i] belongs to replica owner[i]
+}
+
+func newBreakerSet(spec overload.BreakerSpec, scheds []*faults.Schedule) *breakerSet {
+	n := len(scheds)
+	b := &breakerSet{
+		spec:   spec,
+		bs:     make([]*overload.Breaker, n),
+		scheds: scheds,
+		cursor: make([]float64, n),
+		open:   make([]bool, n),
+		openAt: make([]float64, n),
+	}
+	for i := range b.bs {
+		b.bs[i] = overload.NewBreaker(spec)
+	}
+	return b
+}
+
+// advance feeds every breaker the crashes whose start has passed and
+// ticks the state machines to the routing clock t (nondecreasing).
+func (b *breakerSet) advance(t float64) {
+	for i, sch := range b.scheds {
+		for {
+			iv, ok := sch.DownAfter(b.cursor[i])
+			if !ok || iv.Start > t {
+				break
+			}
+			b.bs[i].ObserveDown(iv.Start, iv.End)
+			b.cursor[i] = iv.End
+		}
+		wasOpen := b.bs[i].State() == overload.BreakerOpen
+		nowOpen := b.bs[i].Tick(t) == overload.BreakerOpen
+		switch {
+		case nowOpen && !b.open[i]:
+			b.open[i] = true
+			b.openAt[i] = t
+		case !nowOpen && b.open[i]:
+			b.open[i] = false
+			b.blocked = append(b.blocked, [2]float64{b.openAt[i], t})
+			b.owner = append(b.owner, i)
+		case wasOpen && nowOpen:
+			// Still open; span continues.
+		}
+	}
+}
+
+// allow reports whether the router may dispatch to replica i right now.
+func (b *breakerSet) allow(i int) bool { return b.bs[i].Allow() }
+
+// dispatched notes a dispatch to replica i — a successful probe when
+// half-open.
+func (b *breakerSet) dispatched(i int) { b.bs[i].Probe() }
+
+// finish closes any still-open span at the instant the breaker would
+// deterministically half-open, so failover re-dispatches past the last
+// arrival see the same blocking the router would have.
+func (b *breakerSet) finish() {
+	for i := range b.bs {
+		if b.open[i] {
+			b.open[i] = false
+			b.blocked = append(b.blocked, [2]float64{b.openAt[i], b.openAt[i] + b.spec.Cooldown})
+			b.owner = append(b.owner, i)
+		}
+	}
+}
+
+// blockedAt reports whether replica i's breaker was open at time t,
+// answered from the recorded spans (valid after finish).
+func (b *breakerSet) blockedAt(i int, t float64) bool {
+	for k, sp := range b.blocked {
+		if b.owner[k] == i && t >= sp[0] && t < sp[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// trips snapshots per-replica trip counts for the report.
+func (b *breakerSet) trips() []int {
+	out := make([]int, len(b.bs))
+	for i, br := range b.bs {
+		out[i] = br.Trips()
+	}
+	return out
+}

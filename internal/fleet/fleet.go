@@ -35,6 +35,7 @@ import (
 	"mugi/internal/arch"
 	"mugi/internal/faults"
 	"mugi/internal/noc"
+	"mugi/internal/overload"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// is re-delivered k*FailoverDelay after the crash that orphaned it —
 	// a deterministic linear backoff.
 	FailoverDelay float64
+	// Breaker, when non-nil, arms one circuit breaker per replica in the
+	// router: a replica whose recent-window downtime fraction trips the
+	// threshold stops receiving dispatches until it half-opens after the
+	// cooldown and proves itself with successful probes. Requires Faults
+	// — the injected fault schedules are the breaker's failure signal.
+	Breaker *overload.BreakerSpec
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -129,6 +136,9 @@ type Report struct {
 	// Windows is the merged windowed SLO accounting (nil unless
 	// Config.Window was enabled).
 	Windows *serve.Windows
+	// BreakerTrips counts circuit-breaker trips per replica (nil unless
+	// Config.Breaker was armed).
+	BreakerTrips []int
 }
 
 // String renders the fleet report deterministically: the merged report
@@ -144,6 +154,13 @@ func (r Report) String() string {
 		}
 		fmt.Fprintf(&b, "replica %d: %d requests  sustained %.3f req/s  mean batch %.2f  peak queue %d\n",
 			i, r.Routed[i], rep.SustainedRate, rep.MeanBatch, rep.PeakQueue)
+	}
+	if r.BreakerTrips != nil {
+		total := 0
+		for _, n := range r.BreakerTrips {
+			total += n
+		}
+		fmt.Fprintf(&b, "breaker: %d trips  per replica %v\n", total, r.BreakerTrips)
 	}
 	return b.String()
 }
@@ -206,7 +223,18 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 			scheds[i] = s
 		}
 	}
-	perReplica, originals, firstArrival, lastArrival, err := route(cfg, src, scheds)
+	var brk *breakerSet
+	if cfg.Breaker != nil {
+		if !faulty {
+			return Report{}, fmt.Errorf("fleet: Config.Breaker requires Config.Faults — the injected fault schedules are the breaker's failure signal")
+		}
+		bspec := cfg.Breaker.WithDefaults()
+		if err := bspec.Validate(); err != nil {
+			return Report{}, err
+		}
+		brk = newBreakerSet(bspec, scheds)
+	}
+	perReplica, originals, classes, firstArrival, lastArrival, err := route(cfg, src, scheds, brk)
 	if err != nil {
 		return Report{}, err
 	}
@@ -232,6 +260,7 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 		dirty[i] = true
 	}
 	shedFailover, redispatched := 0, 0
+	var shedClass [overload.NumClasses]int
 	for {
 		// Run every replica whose assignment changed since its last run;
 		// each shard observes into its own window accumulator so the merge
@@ -283,12 +312,15 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 				dirty[i] = true
 				if o.Req.Retries >= cfg.MaxRedispatch {
 					shedFailover++
+					shedClass[o.Req.Class]++
 					continue
 				}
+				// The hand-off keeps the request's tenant class: failover
+				// moves work between replicas, it never re-prices it.
 				req := o.Req
 				req.Retries++
 				req.Arrival = o.At + float64(req.Retries)*cfg.FailoverDelay
-				t := failoverTarget(scheds, i, req.Arrival)
+				t := failoverTarget(scheds, brk, i, req.Arrival)
 				insertByArrival(&perReplica[t], req)
 				dirty[t] = true
 				redispatched++
@@ -306,10 +338,14 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	}
 	var (
 		ttft, tpot, lat serve.Hist
+		cttft, clat     [overload.NumClasses]serve.Hist
 		end             float64
 		batchSum        float64
 		leakEnergy      float64
 	)
+	if brk != nil {
+		out.BreakerTrips = brk.trips()
+	}
 	if wins != nil {
 		out.Windows = serve.NewWindows(cfg.Window)
 	}
@@ -352,6 +388,27 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 		fl.Redispatched += rep.Redispatched
 		fl.Shed += rep.Shed
 		fl.ShedOverload += rep.ShedOverload
+		fl.Evicted += rep.Evicted
+		fl.Degraded += rep.Degraded
+		fl.ClientRetries += rep.ClientRetries
+		if rep.BrownoutMaxLevel > fl.BrownoutMaxLevel {
+			fl.BrownoutMaxLevel = rep.BrownoutMaxLevel
+		}
+		fl.BrownoutSeconds += rep.BrownoutSeconds
+		// Per-class fate counters sum like their totals; Orphaned is
+		// intentionally NOT summed — the failover fixed point leaves no
+		// orphan dangling (each became a redispatch or a shed).
+		for c := range fl.Classes {
+			cs := rep.Classes[c]
+			fl.Classes[c].Completed += cs.Completed
+			fl.Classes[c].Shed += cs.Shed
+			fl.Classes[c].Evicted += cs.Evicted
+			fl.Classes[c].Degraded += cs.Degraded
+			fl.Classes[c].PromptTokens += cs.PromptTokens
+			fl.Classes[c].OutputTokens += cs.OutputTokens
+			cttft[c].Merge(&stats[i].ClassTTFT[c])
+			clat[c].Merge(&stats[i].ClassLatency[c])
+		}
 		if rep.Slowdown > fl.Slowdown {
 			fl.Slowdown = rep.Slowdown
 		}
@@ -404,7 +461,20 @@ func Run(cfg Config, src serve.Stream) (Report, error) {
 	if fl.Completed > 0 {
 		fl.JoulesPerRequest = fl.TotalEnergy / float64(fl.Completed)
 	}
-	fl.FaultsOn = faulty || cfg.Replica.MaxQueue > 0
+	overloadOn := cfg.Replica.Admission != nil || cfg.Replica.Brownout != nil || cfg.Replica.ClientRetry.Enabled()
+	fl.OverloadOn = overloadOn
+	fl.TenantsOn = info.Tenants != "" || overloadOn
+	if fl.TenantsOn {
+		// Per-class Requests revert to the routed originals for the same
+		// reason the total does: redispatches are not fresh arrivals.
+		for c := range fl.Classes {
+			fl.Classes[c].Requests = classes[c]
+			fl.Classes[c].Shed += shedClass[c]
+			fl.Classes[c].TTFT = cttft[c].Percentiles()
+			fl.Classes[c].Latency = clat[c].Percentiles()
+		}
+	}
+	fl.FaultsOn = faulty || cfg.Replica.MaxQueue > 0 || overloadOn
 	if fl.FaultsOn {
 		if fl.Slowdown == 0 {
 			fl.Slowdown = 1

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mugi/internal/faults"
+	"mugi/internal/overload"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 	"mugi/internal/sim"
@@ -131,20 +132,48 @@ func sessionMix(x uint64) uint64 {
 }
 
 // route drains the stream, assigning every request to a replica, and
-// returns the per-replica schedules, the request count, and the global
-// arrival envelope. Routing is a single serial pass — deterministic by
-// construction — and requests keep their original arrival times, so all
-// replicas share one simulated clock. With fault schedules supplied the
-// pass is health-aware: an arrival aimed at a replica that is down is
-// bounced to the next live one (JSQ excludes down replicas from its
-// argmin outright), modeling a load balancer with health checks.
-func route(cfg Config, src serve.Stream, scheds []*faults.Schedule) (perReplica [][]serve.Request, count int, firstArrival, lastArrival float64, err error) {
+// returns the per-replica schedules, the request count (overall and per
+// priority class), and the global arrival envelope. Routing is a single
+// serial pass — deterministic by construction — and requests keep their
+// original arrival times, so all replicas share one simulated clock.
+// With fault schedules supplied the pass is health-aware: an arrival
+// aimed at a replica that is down is bounced to the next live one (JSQ
+// excludes down replicas from its argmin outright), modeling a load
+// balancer with health checks. With a breaker set supplied the pass
+// also skips replicas whose circuit breaker is open — a replica can be
+// up yet untrusted after a bad window — falling back to health-only
+// routing when breakers block the whole fleet.
+func route(cfg Config, src serve.Stream, scheds []*faults.Schedule, brk *breakerSet) (perReplica [][]serve.Request, count int, classes [overload.NumClasses]int, firstArrival, lastArrival float64, err error) {
 	n := cfg.Replicas
 	perReplica = make([][]serve.Request, n)
 	var est *estimator
 	busyUntil := make([]float64, n)
 	if cfg.Policy == JSQ {
 		est = newEstimator(cfg.Replica)
+	}
+	// eligible is the dispatch predicate: up (when health-aware) and
+	// breaker-allowed (when breakers are armed).
+	eligible := func(j int, t float64) bool {
+		if scheds != nil && scheds[j].DownAt(t) {
+			return false
+		}
+		return brk == nil || brk.allow(j)
+	}
+	// bounce scans forward from the chosen target for the first eligible
+	// replica; if breakers block every live replica, health alone decides
+	// (shedding the whole fleet to an advisory mechanism would be worse
+	// than dispatching through it).
+	bounce := func(target int, t float64) int {
+		for j := 0; j < n; j++ {
+			r := (target + j) % n
+			if eligible(r, t) {
+				return r
+			}
+		}
+		if scheds != nil && scheds[target].DownAt(t) {
+			return failoverTarget(scheds, nil, target, t)
+		}
+		return target
 	}
 	i := 0
 	for {
@@ -156,35 +185,53 @@ func route(cfg Config, src serve.Stream, scheds []*faults.Schedule) (perReplica 
 			firstArrival = r.Arrival
 		}
 		lastArrival = r.Arrival
+		if brk != nil {
+			brk.advance(r.Arrival)
+		}
 		var target int
 		switch cfg.Policy {
 		case RoundRobin:
 			target = i % n
 		case JSQ:
-			// Least backlog among live replicas at the arrival instant;
-			// ties go to the lowest index so the choice is total-ordered.
+			// Least backlog among eligible replicas at the arrival
+			// instant; ties go to the lowest index so the choice is
+			// total-ordered.
 			best, bestBacklog := -1, math.Inf(1)
 			for j := 0; j < n; j++ {
-				if scheds != nil && scheds[j].DownAt(r.Arrival) {
+				if !eligible(j, r.Arrival) {
 					continue
 				}
 				if b := backlog(busyUntil[j], r.Arrival); b < bestBacklog {
 					best, bestBacklog = j, b
 				}
 			}
+			if best < 0 && brk != nil {
+				// Breakers blocked every live replica: health-only argmin.
+				for j := 0; j < n; j++ {
+					if scheds != nil && scheds[j].DownAt(r.Arrival) {
+						continue
+					}
+					if b := backlog(busyUntil[j], r.Arrival); b < bestBacklog {
+						best, bestBacklog = j, b
+					}
+				}
+			}
 			if best < 0 {
 				// Whole fleet down: queue at the soonest-repaired replica.
-				best = failoverTarget(scheds, n-1, r.Arrival)
+				best = failoverTarget(scheds, nil, n-1, r.Arrival)
 			}
 			target = best
 		case Affinity:
 			sess := uint64(r.ID % cfg.AffinitySessions)
 			target = int(sessionMix(sess) % uint64(n))
 		default:
-			return nil, 0, 0, 0, fmt.Errorf("fleet: unknown policy %v", cfg.Policy)
+			return nil, 0, classes, 0, 0, fmt.Errorf("fleet: unknown policy %v", cfg.Policy)
 		}
-		if scheds != nil && scheds[target].DownAt(r.Arrival) {
-			target = failoverTarget(scheds, target, r.Arrival)
+		if !eligible(target, r.Arrival) {
+			target = bounce(target, r.Arrival)
+		}
+		if brk != nil {
+			brk.dispatched(target)
 		}
 		if cfg.Policy == JSQ {
 			start := r.Arrival
@@ -194,23 +241,38 @@ func route(cfg Config, src serve.Stream, scheds []*faults.Schedule) (perReplica 
 			busyUntil[target] = start + est.demand(r)
 		}
 		perReplica[target] = append(perReplica[target], r)
+		classes[r.Class]++
 		i++
 	}
 	if i == 0 {
-		return nil, 0, 0, 0, fmt.Errorf("fleet: empty trace")
+		return nil, 0, classes, 0, 0, fmt.Errorf("fleet: empty trace")
 	}
-	return perReplica, i, firstArrival, lastArrival, nil
+	if brk != nil {
+		brk.finish()
+	}
+	return perReplica, i, classes, firstArrival, lastArrival, nil
 }
 
 // failoverTarget picks where work aimed at (or orphaned by) replica
 // `from` goes at time t: the first replica up at t, scanning from
 // from+1 in index order (wrapping; `from` itself is eligible last, so a
-// repaired replica can take its own work back). If the whole fleet is
-// down at t, the replica whose repair completes soonest wins, ties to
-// the lowest index — every rule is total-ordered, so the choice is
+// repaired replica can take its own work back). With a breaker set
+// supplied, replicas whose breaker was open at t are skipped on the
+// first scan and reconsidered on a health-only second scan — the same
+// advisory-only fallback the router uses. If the whole fleet is down at
+// t, the replica whose repair completes soonest wins, ties to the
+// lowest index — every rule is total-ordered, so the choice is
 // deterministic.
-func failoverTarget(scheds []*faults.Schedule, from int, t float64) int {
+func failoverTarget(scheds []*faults.Schedule, brk *breakerSet, from int, t float64) int {
 	n := len(scheds)
+	if brk != nil {
+		for j := 1; j <= n; j++ {
+			r := (from + j) % n
+			if scheds[r].UpAt(t) && !brk.blockedAt(r, t) {
+				return r
+			}
+		}
+	}
 	for j := 1; j <= n; j++ {
 		r := (from + j) % n
 		if scheds[r].UpAt(t) {

@@ -10,6 +10,7 @@ import (
 	"mugi/internal/faults"
 	"mugi/internal/model"
 	"mugi/internal/noc"
+	"mugi/internal/overload"
 	"mugi/internal/runner"
 	"mugi/internal/sim"
 )
@@ -138,6 +139,24 @@ type Config struct {
 	// of queued — graceful degradation under overload, with queued work
 	// keeping priority by age over new arrivals. 0 means unbounded.
 	MaxQueue int
+	// Admission, when non-nil, replaces blind MaxQueue shedding with the
+	// deterministic admission controller: per-class token buckets plus
+	// strict-priority eviction — an interactive arrival at a full queue
+	// is admitted by evicting the youngest queued best-effort request,
+	// never the reverse. The queue bound itself stays MaxQueue.
+	Admission *overload.AdmissionSpec
+	// Brownout, when non-nil, arms the degradation ladder: under
+	// sustained queue pressure the scheduler caps best-effort output,
+	// coarsens CtxBucket quantization and downshifts DVFS one rung at a
+	// time, recovering with hysteresis. A zero-HighWater spec normalizes
+	// pressure by MaxQueue (or 4*MaxBatch when the queue is unbounded).
+	Brownout *overload.BrownoutSpec
+	// ClientRetry, when enabled, models client behavior after an
+	// admission shed: the request re-arrives after a linear backoff and
+	// repeats the admission decision, up to MaxAttempts — the feedback
+	// loop that lets a retrystorm trace exhibit metastable failure. The
+	// zero value keeps sheds final.
+	ClientRetry overload.ClientRetrySpec
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -276,6 +295,44 @@ type Report struct {
 	// their fate is decided by the fleet, which recomputes availability
 	// over the merged report.
 	Availability, Nines float64
+
+	// OverloadOn marks a run with the admission controller, brownout
+	// ladder or client retries armed; the overload summary line exists
+	// only then, so pre-overload reports stay byte-identical.
+	OverloadOn bool
+	// Evicted counts queued requests displaced by a higher-priority
+	// arrival; Degraded counts best-effort requests whose output the
+	// brownout ladder truncated; ClientRetries counts shed requests that
+	// re-arrived after client backoff.
+	Evicted, Degraded, ClientRetries int
+	// BrownoutMaxLevel is the deepest ladder rung reached;
+	// BrownoutSeconds is simulated time spent at any rung above nominal.
+	BrownoutMaxLevel int
+	BrownoutSeconds  float64
+
+	// TenantsOn marks a run with per-class accounting (a tenant-tagged
+	// trace or an armed overload controller); the per-class section
+	// exists only then. The accounting invariant holds per class:
+	// Completed + Shed + Orphaned == Requests within every class.
+	TenantsOn bool
+	// Classes holds the per-class accounting, indexed by overload.Class.
+	Classes [overload.NumClasses]ClassStats
+}
+
+// ClassStats is one priority class's slice of a report.
+type ClassStats struct {
+	// Requests counts the class's arrivals; the invariant
+	// Completed + Shed + Orphaned == Requests holds within the class.
+	Requests, Completed, Shed, Orphaned int
+	// Evicted and Degraded count the class's displaced and truncated
+	// requests (informational: an evicted request still terminates as
+	// completed or shed).
+	Evicted, Degraded int
+	// PromptTokens/OutputTokens total the class's delivered tokens, the
+	// work attribution the price-of-priority planner bills by.
+	PromptTokens, OutputTokens int64
+	// TTFT and Latency are the class's own latency populations.
+	TTFT, Latency Percentiles
 }
 
 // String renders the report deterministically.
@@ -283,8 +340,13 @@ func (r Report) String() string {
 	var b strings.Builder
 	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 	p("serve: %s on %s mesh %s", r.Model, r.Design, r.Mesh)
-	p("trace: %s rate %.2f req/s seed %d lengths %s (%d requests)",
-		r.Trace.Kind, r.Trace.Rate, r.Trace.Seed, r.Trace.Lengths, r.Requests)
+	if r.Trace.Tenants != "" {
+		p("trace: %s rate %.2f req/s seed %d lengths %s (%d requests)  tenants %s",
+			r.Trace.Kind, r.Trace.Rate, r.Trace.Seed, r.Trace.Lengths, r.Requests, r.Trace.Tenants)
+	} else {
+		p("trace: %s rate %.2f req/s seed %d lengths %s (%d requests)",
+			r.Trace.Kind, r.Trace.Rate, r.Trace.Seed, r.Trace.Lengths, r.Requests)
+	}
 	p("throughput: offered %.3f req/s  sustained %.3f req/s  %.1f tok/s out", r.OfferedRate, r.SustainedRate, r.TokensPerSecond)
 	p("makespan: %.2f s  (%d prefill steps, %d decode steps, mean batch %.2f)",
 		r.Makespan, r.PrefillSteps, r.DecodeSteps, r.MeanBatch)
@@ -312,15 +374,33 @@ func (r Report) String() string {
 		p("accounting: %d redispatched  %d orphaned  %d shed (%d overload, %d retry budget)",
 			r.Redispatched, r.Orphaned, r.Shed, r.ShedOverload, r.Shed-r.ShedOverload)
 	}
+	if r.OverloadOn {
+		p("overload: brownout max level %d (%.1f s degraded)  %d evicted  %d degraded  %d client retries",
+			r.BrownoutMaxLevel, r.BrownoutSeconds, r.Evicted, r.Degraded, r.ClientRetries)
+	}
+	if r.TenantsOn {
+		p99 := func(x Percentiles) string {
+			if x.Count == 0 {
+				return "     n/a"
+			}
+			return fmt.Sprintf("%8.3f", x.P99)
+		}
+		for _, c := range overload.Classes() {
+			cs := r.Classes[c]
+			p("class %-11s %5d req  %5d done  %4d shed  %4d evicted  %4d degraded  ttft p99 %s s  lat p99 %s s",
+				c, cs.Requests, cs.Completed, cs.Shed, cs.Evicted, cs.Degraded, p99(cs.TTFT), p99(cs.Latency))
+		}
+	}
 	return b.String()
 }
 
 // reqState tracks one admitted request in the scheduler's pooled arena.
 type reqState struct {
-	req       Request
-	generated int     // output tokens produced so far
-	firstAt   float64 // completion time of the prefill (first token)
-	deferred  bool    // already counted as a KV-budget deferral
+	req         Request
+	generated   int     // output tokens produced so far
+	firstAt     float64 // completion time of the prefill (first token)
+	deferred    bool    // already counted as a KV-budget deferral
+	clientTries int     // client retry attempts already spent (overload)
 }
 
 // stepShape keys the scheduler's workload memo: with CtxBucket
@@ -346,6 +426,9 @@ type scheduler struct {
 	active []int32    // running decode batch
 
 	ttft, tpot, lat Hist
+	// cttft/clat are the per-class latency populations, maintained (and
+	// reset) only on tenant-accounted runs so untagged runs pay nothing.
+	cttft, clat [overload.NumClasses]Hist
 
 	workloads map[stepShape]model.Workload
 }
@@ -414,9 +497,60 @@ func (sc *scheduler) qpush(idx int32) {
 
 func (sc *scheduler) qpeek() int32 { return sc.queue[sc.qhead] }
 
+// qpushPri inserts idx keeping the queue ordered by class priority,
+// stable within a class (FIFO among equals). Overload mode only:
+// strict-priority dispatch is what makes an evicted slot worth anything
+// to the class that claimed it — eviction frees space, this hands the
+// freed space to the front of the line.
+//
+//mugi:noalloc
+func (sc *scheduler) qpushPri(idx int32) {
+	sc.qpush(idx)
+	p := sc.states[idx].req.Class.Priority()
+	for i := len(sc.queue) - 1; i > sc.qhead; i-- {
+		if sc.states[sc.queue[i-1]].req.Class.Priority() <= p {
+			break
+		}
+		sc.queue[i], sc.queue[i-1] = sc.queue[i-1], sc.queue[i]
+	}
+}
+
 func (sc *scheduler) qpop() int32 {
 	idx := sc.queue[sc.qhead]
 	sc.qhead++
+	return idx
+}
+
+// lowerQueued reports whether some queued request ranks strictly below
+// class c — an eviction victim exists.
+func (sc *scheduler) lowerQueued(c overload.Class) bool {
+	p := c.Priority()
+	for _, idx := range sc.queue[sc.qhead:] {
+		if sc.states[idx].req.Class.Priority() > p {
+			return true
+		}
+	}
+	return false
+}
+
+// evictVictim removes and returns the arena index of the youngest
+// queued request with the lowest priority strictly below class c, or -1
+// when no victim exists. "Youngest lowest-priority first" sacrifices the
+// least-invested, least-important work.
+func (sc *scheduler) evictVictim(c overload.Class) int32 {
+	p := c.Priority()
+	best, bestP := -1, p
+	for i := len(sc.queue) - 1; i >= sc.qhead; i-- {
+		if q := sc.states[sc.queue[i]].req.Class.Priority(); q > bestP {
+			best, bestP = i, q
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	idx := sc.queue[best]
+	copy(sc.queue[best:], sc.queue[best+1:])
+	sc.queue = sc.queue[:len(sc.queue)-1]
 	return idx
 }
 
@@ -472,6 +606,10 @@ type RunStats struct {
 	// RetryPolicy.HandOff is set, in deterministic (crash-time, admission)
 	// order, for the fleet router to re-dispatch. Empty otherwise.
 	Orphans []Orphan
+	// ClassTTFT/ClassLatency are the per-class latency populations,
+	// populated only on tenant-accounted runs, so a fleet merge can
+	// compute per-class percentiles over every replica's samples.
+	ClassTTFT, ClassLatency [overload.NumClasses]Hist
 }
 
 // Orphan is one request a fail-stop crash interrupted on a hand-off
@@ -538,6 +676,45 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	if cfg.Retry.MaxRedispatch < 0 || cfg.Retry.Delay < 0 {
 		return RunStats{}, fmt.Errorf("serve: retry policy must be non-negative (max redispatch %d, delay %g)", cfg.Retry.MaxRedispatch, cfg.Retry.Delay)
 	}
+	if cfg.Admission != nil {
+		if err := cfg.Admission.Validate(); err != nil {
+			return RunStats{}, err
+		}
+	}
+	if err := cfg.ClientRetry.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	clientRetry := cfg.ClientRetry.WithDefaults()
+	var (
+		bo     *overload.Brownout
+		boSpec overload.BrownoutSpec
+	)
+	if cfg.Brownout != nil {
+		boSpec = cfg.Brownout.WithDefaults()
+		if boSpec.HighWater == 0 {
+			if cfg.MaxQueue > 0 {
+				boSpec.HighWater = cfg.MaxQueue
+			} else {
+				boSpec.HighWater = 4 * cfg.MaxBatch
+			}
+		}
+		if err := boSpec.Validate(); err != nil {
+			return RunStats{}, err
+		}
+		bo = overload.NewBrownout(boSpec)
+	}
+	// overloadOn arms the unified admission path; classed additionally
+	// turns on per-class accounting. Both off is the pre-overload code
+	// path, byte-identical to earlier releases.
+	overloadOn := cfg.Admission != nil || cfg.Brownout != nil || clientRetry.Enabled()
+	var adm *overload.Admission
+	if overloadOn {
+		var aspec overload.AdmissionSpec
+		if cfg.Admission != nil {
+			aspec = *cfg.Admission
+		}
+		adm = overload.NewAdmission(aspec)
+	}
 	perToken := KVBytesPerToken(cfg.Model)
 	need := func(r Request) int64 { return perToken * int64(r.Prompt+r.Output) }
 	validate := func(r Request) error {
@@ -579,13 +756,22 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		spec = cfg.Faults.Spec()
 		slowdown = cfg.Faults.Slowdown()
 	}
-	rep.FaultsOn = faulty || cfg.MaxQueue > 0
+	rep.FaultsOn = faulty || cfg.MaxQueue > 0 || overloadOn
+	rep.OverloadOn = overloadOn
+	classed := rep.Trace.Tenants != "" || overloadOn
+	rep.TenantsOn = classed
 	rep.Slowdown = slowdown
 	curDown, haveDown := cfg.Faults.DownAfter(0)
 	var orphans []Orphan
 
 	sc := getScheduler()
 	defer schedPool.Put(sc)
+	if classed {
+		for i := range sc.cttft {
+			sc.cttft[i].Reset()
+			sc.clat[i].Reset()
+		}
+	}
 
 	// One-request lookahead over the stream.
 	pending, havePending := src.Next()
@@ -601,6 +787,7 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 		kvInUse      int64
 		batchSum     int
 		leakage      float64
+		lastObserve  float64
 	)
 	// retryEntry schedules a failed dispatch for re-delivery at readyAt.
 	// Entries are kept in readyAt order by insertion (failures are rare
@@ -621,16 +808,128 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	}
 	retriesPending := func() bool { return rhead < len(retries) }
 
+	// clientEntry schedules a shed request's client-side re-arrival.
+	// Mirrors retryEntry: kept in readyAt order by insertion.
+	type clientEntry struct {
+		req      Request
+		attempts int
+		readyAt  float64
+	}
+	var (
+		clientQ []clientEntry
+		chead   int
+	)
+	pushClient := func(r Request, attempts int, readyAt float64) {
+		clientQ = append(clientQ, clientEntry{req: r, attempts: attempts, readyAt: readyAt})
+		for i := len(clientQ) - 1; i > chead && clientQ[i].readyAt < clientQ[i-1].readyAt; i-- {
+			clientQ[i], clientQ[i-1] = clientQ[i-1], clientQ[i]
+		}
+	}
+	clientPending := func() bool { return chead < len(clientQ) }
+
+	// addTokens/discard keep the token totals (overall and per class)
+	// counting only work this run actually delivers (or will deliver
+	// after a local retry): hand-offs and sheds return theirs.
+	addTokens := func(r Request) {
+		rep.PromptTokens += int64(r.Prompt)
+		rep.OutputTokens += int64(r.Output)
+		if classed {
+			rep.Classes[r.Class].PromptTokens += int64(r.Prompt)
+			rep.Classes[r.Class].OutputTokens += int64(r.Output)
+		}
+	}
+	discard := func(r Request) {
+		rep.PromptTokens -= int64(r.Prompt)
+		rep.OutputTokens -= int64(r.Output)
+		if classed {
+			rep.Classes[r.Class].PromptTokens -= int64(r.Prompt)
+			rep.Classes[r.Class].OutputTokens -= int64(r.Output)
+		}
+	}
+	// shedFinal disposes one arrival for good; shedArrival first offers
+	// it back to the client when retries are modeled.
+	shedFinal := func(r Request) {
+		rep.Shed++
+		rep.ShedOverload++
+		if classed {
+			rep.Classes[r.Class].Shed++
+		}
+	}
+	shedArrival := func(r Request, t float64, attempts int) {
+		if clientRetry.Enabled() && attempts < clientRetry.MaxAttempts {
+			rep.ClientRetries++
+			pushClient(r, attempts+1, t+clientRetry.Backoff*float64(attempts+1))
+			return
+		}
+		shedFinal(r)
+	}
+	// admitArrival runs the overload admission path for one arrival
+	// event (a fresh pull at its arrival time, or a client re-arrival at
+	// its backoff expiry).
+	admitArrival := func(r Request, t float64, attempts int) {
+		full := cfg.MaxQueue > 0 && sc.qlen() >= cfg.MaxQueue
+		lower := false
+		if cfg.Admission != nil && full {
+			lower = sc.lowerQueued(r.Class)
+		}
+		beCap := 0
+		if bo != nil {
+			beCap = bo.Step().BestEffortCap
+		}
+		switch adm.Decide(t, r.Class, full, lower, beCap > 0) {
+		case overload.Evict:
+			vidx := sc.evictVictim(r.Class)
+			victim := sc.states[vidx].req
+			vtries := sc.states[vidx].clientTries
+			discard(victim)
+			rep.Evicted++
+			if classed {
+				rep.Classes[victim.Class].Evicted++
+			}
+			sc.release(vidx)
+			shedArrival(victim, t, vtries)
+			fallthrough
+		case overload.Admit:
+			addTokens(r)
+			idx := sc.alloc(r)
+			sc.states[idx].clientTries = attempts
+			sc.qpushPri(idx)
+		case overload.Degrade:
+			if r.Output > beCap {
+				r.Output = beCap
+				rep.Degraded++
+				if classed {
+					rep.Classes[r.Class].Degraded++
+				}
+			}
+			addTokens(r)
+			idx := sc.alloc(r)
+			sc.states[idx].clientTries = attempts
+			sc.qpushPri(idx)
+		case overload.Shed:
+			shedArrival(r, t, attempts)
+		default:
+			panic("serve: unknown admission decision")
+		}
+	}
 	pull := func() error {
 		lastArrival = pending.Arrival
-		if cfg.MaxQueue > 0 && sc.qlen() >= cfg.MaxQueue {
+		if classed {
+			rep.Classes[pending.Class].Requests++
+		}
+		switch {
+		case overloadOn:
+			admitArrival(pending, pending.Arrival, 0)
+		case cfg.MaxQueue > 0 && sc.qlen() >= cfg.MaxQueue:
 			// Bounded-queue overload: the freshest arrival is shed with
 			// accounting; already-queued work keeps priority by age.
 			rep.Shed++
 			rep.ShedOverload++
-		} else {
-			rep.PromptTokens += int64(pending.Prompt)
-			rep.OutputTokens += int64(pending.Output)
+			if classed {
+				rep.Classes[pending.Class].Shed++
+			}
+		default:
+			addTokens(pending)
 			sc.qpush(sc.alloc(pending))
 		}
 		pending, havePending = src.Next()
@@ -638,13 +937,6 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			return validate(pending)
 		}
 		return nil
-	}
-	// discard gives back the tokens a pulled request carried: token totals
-	// count only work this run actually delivers (or will deliver after a
-	// local retry), so hand-offs and sheds return theirs.
-	discard := func(r Request) {
-		rep.PromptTokens -= int64(r.Prompt)
-		rep.OutputTokens -= int64(r.Output)
 	}
 	// crash loses every resident request at the first scheduler boundary
 	// at or after the scheduled crash instant (a decode round in flight
@@ -663,11 +955,17 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			switch {
 			case retry.HandOff:
 				rep.Orphaned++
+				if classed {
+					rep.Classes[r.req.Class].Orphaned++
+				}
 				discard(r.req)
 				orphans = append(orphans, Orphan{Req: r.req, At: orphanAt})
 				sc.release(idx)
 			case r.req.Retries >= retry.MaxRedispatch:
 				rep.Shed++
+				if classed {
+					rep.Classes[r.req.Class].Shed++
+				}
 				discard(r.req)
 				sc.release(idx)
 			default:
@@ -701,6 +999,25 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			cfg.Observe(r.req, r.firstAt, now)
 		}
 		rep.Completed++
+		if classed {
+			rep.Classes[r.req.Class].Completed++
+			sc.cttft[r.req.Class].Add(r.firstAt - r.req.Arrival)
+			sc.clat[r.req.Class].Add(now - r.req.Arrival)
+		}
+	}
+	// bucket quantizes a step shape like Config.BucketCtx, but through
+	// the brownout ladder's live CtxBucketScale; at scale 1 (no brownout)
+	// the result is bit-identical to BucketCtx.
+	bucketScale := 1
+	bucket := func(n int) int {
+		b := cfg.CtxBucket * bucketScale
+		if b > 1 {
+			n = (n + b - 1) / b * b
+		}
+		if cfg.Model.MaxSeq > 0 && n > cfg.Model.MaxSeq {
+			n = cfg.Model.MaxSeq
+		}
+		return n
 	}
 	step := func(w model.Workload) {
 		res := cfg.Simulate(params, w)
@@ -725,8 +1042,42 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			}
 		}
 		for retriesPending() && retries[rhead].readyAt <= now {
-			sc.qpush(retries[rhead].idx)
+			// Transient-retry re-entries respect priority order in
+			// overload mode, like any other admission to the queue.
+			if overloadOn {
+				sc.qpushPri(retries[rhead].idx)
+			} else {
+				sc.qpush(retries[rhead].idx)
+			}
 			rhead++
+		}
+		for clientPending() && clientQ[chead].readyAt <= now {
+			e := clientQ[chead]
+			chead++
+			admitArrival(e.req, e.readyAt, e.attempts)
+		}
+		if bo != nil {
+			// Brownout observes the post-arrival queue each round; the
+			// active rung reshapes quantization, the operating point and
+			// the best-effort cap until hysteresis walks it back down.
+			if bo.Level() > 0 {
+				rep.BrownoutSeconds += now - lastObserve
+			}
+			lastObserve = now
+			lvl := bo.Observe(now, sc.qlen())
+			if lvl > rep.BrownoutMaxLevel {
+				rep.BrownoutMaxLevel = lvl
+			}
+			st := boSpec.Step(lvl)
+			bucketScale = st.CtxBucketScale
+			if bucketScale < 1 {
+				bucketScale = 1
+			}
+			if st.DVFS == (arch.DVFSPoint{}) {
+				params.DVFS = cfg.DVFS
+			} else {
+				params.DVFS = st.DVFS
+			}
 		}
 		if q := sc.qlen(); q > rep.PeakQueue {
 			rep.PeakQueue = q
@@ -738,6 +1089,9 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			}
 			if retriesPending() && retries[rhead].readyAt < next {
 				next = retries[rhead].readyAt
+			}
+			if clientPending() && clientQ[chead].readyAt < next {
+				next = clientQ[chead].readyAt
 			}
 			if math.IsInf(next, 1) {
 				return RunStats{}, fmt.Errorf("serve: stream ended after %d of %d requests", rep.Completed, total)
@@ -759,6 +1113,9 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 				rep.TransientErrors++
 				if r.req.Retries >= retry.MaxRedispatch {
 					rep.Shed++
+					if classed {
+						rep.Classes[r.req.Class].Shed++
+					}
 					discard(r.req)
 					sc.release(idx)
 					continue
@@ -782,7 +1139,7 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 			if kvInUse > rep.PeakKVBytes {
 				rep.PeakKVBytes = kvInUse
 			}
-			step(sc.workload(cfg.Model, false, 1, cfg.BucketCtx(r.req.Prompt)))
+			step(sc.workload(cfg.Model, false, 1, bucket(r.req.Prompt)))
 			rep.PrefillSteps++
 			r.firstAt = now
 			r.generated = 1
@@ -803,7 +1160,7 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 					maxCtx = ctx
 				}
 			}
-			step(sc.workload(cfg.Model, true, len(sc.active), cfg.BucketCtx(maxCtx)))
+			step(sc.workload(cfg.Model, true, len(sc.active), bucket(maxCtx)))
 			rep.DecodeSteps++
 			batchSum += len(sc.active)
 			remaining := sc.active[:0]
@@ -835,6 +1192,15 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	rep.TTFT = sc.ttft.Percentiles()
 	rep.TPOT = sc.tpot.Percentiles()
 	rep.Latency = sc.lat.Percentiles()
+	if bo != nil && bo.Level() > 0 {
+		rep.BrownoutSeconds += now - lastObserve
+	}
+	if classed {
+		for i := range rep.Classes {
+			rep.Classes[i].TTFT = sc.cttft[i].Percentiles()
+			rep.Classes[i].Latency = sc.clat[i].Percentiles()
+		}
+	}
 	// A crashed replica burns no leakage while down, so scheduled
 	// downtime inside the run is not billed (span clamps at zero for the
 	// corner where downtime was accrued outside the makespan envelope).
@@ -857,11 +1223,15 @@ func runStream(cfg Config, src Stream) (RunStats, error) {
 	}
 	// The histograms are copied out before the scheduler returns to the
 	// pool: RunStats owns its populations, the arena is reused.
-	return RunStats{
+	st := RunStats{
 		Report: rep,
 		TTFT:   sc.ttft, TPOT: sc.tpot, Latency: sc.lat,
 		FirstArrival: firstArrival, End: now,
 		LeakageWatts: leakage,
 		Orphans:      orphans,
-	}, nil
+	}
+	if classed {
+		st.ClassTTFT, st.ClassLatency = sc.cttft, sc.clat
+	}
+	return st, nil
 }

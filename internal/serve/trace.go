@@ -18,6 +18,8 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"mugi/internal/overload"
 )
 
 // TraceKind selects the synthetic arrival process.
@@ -35,6 +37,18 @@ const (
 	// rate follows a sinusoid (period Period, relative amplitude Swing)
 	// around the mean rate — a compressed day/night load curve.
 	Diurnal
+	// Flashcrowd alternates Poisson arrivals at the baseline rate with
+	// seeded step surges at SurgeFactor times the rate: normal phases
+	// last SurgePeriod on average, surge phases SurgeSpan. The overload
+	// stressor for admission control and brownout.
+	Flashcrowd
+	// Retrystorm is a single deterministic step surge — normal rate
+	// until SurgePeriod seconds, SurgeFactor times the rate for the next
+	// SurgeSpan seconds, then normal again. Paired with
+	// Config.ClientRetry, the pulse seeds the metastable-failure
+	// feedback loop: sheds re-arrive as client retries that keep the
+	// queue saturated long after the pulse has passed.
+	Retrystorm
 )
 
 // String names the trace kind for renderings and CLI flags.
@@ -46,6 +60,10 @@ func (k TraceKind) String() string {
 		return "bursty"
 	case Diurnal:
 		return "diurnal"
+	case Flashcrowd:
+		return "flashcrowd"
+	case Retrystorm:
+		return "retrystorm"
 	default:
 		return fmt.Sprintf("trace(%d)", int(k))
 	}
@@ -60,12 +78,18 @@ func ParseTraceKind(s string) (TraceKind, error) {
 		return Bursty, nil
 	case "diurnal":
 		return Diurnal, nil
+	case "flashcrowd":
+		return Flashcrowd, nil
+	case "retrystorm":
+		return Retrystorm, nil
 	}
-	return 0, fmt.Errorf("serve: unknown trace kind %q (want poisson|bursty|diurnal)", s)
+	return 0, fmt.Errorf("serve: unknown trace kind %q (want poisson|bursty|diurnal|flashcrowd|retrystorm)", s)
 }
 
 // TraceKinds lists every arrival process.
-func TraceKinds() []TraceKind { return []TraceKind{Poisson, Bursty, Diurnal} }
+func TraceKinds() []TraceKind {
+	return []TraceKind{Poisson, Bursty, Diurnal, Flashcrowd, Retrystorm}
+}
 
 // LengthProfile draws prompt and output token counts for one request. In
 // the style of internal/dist's Gaussian activation profiles, lengths are
@@ -158,6 +182,76 @@ type TraceConfig struct {
 	// Swing is the relative sinusoid amplitude in [0,1) for Diurnal
 	// traces (default 0.8).
 	Swing float64
+
+	// SurgeFactor is the surge-phase rate multiplier for Flashcrowd and
+	// Retrystorm traces (default 4; must exceed 1).
+	SurgeFactor float64
+	// SurgeSpan is the surge length in seconds: the mean surge-phase
+	// length for Flashcrowd, the exact pulse width for Retrystorm
+	// (default 120).
+	SurgeSpan float64
+	// SurgePeriod is the calm length in seconds: the mean normal-phase
+	// length for Flashcrowd, the exact pulse start for Retrystorm
+	// (default 600).
+	SurgePeriod float64
+
+	// Tenants is the per-tenant traffic mix: each request draws its
+	// priority class from these shares (an independent seeded
+	// generator, so arrivals and lengths are unchanged by tagging).
+	// Empty means untagged traffic — every request is overload.Standard
+	// and reports omit the per-class sections.
+	Tenants []TenantSpec
+}
+
+// TenantSpec is one entry of a trace's tenant mix.
+type TenantSpec struct {
+	// Class is the priority class this tenant's requests carry.
+	Class overload.Class
+	// Share is the tenant's relative traffic share (shares are
+	// normalized, so any positive weights work).
+	Share float64
+}
+
+// ParseTenants parses a CLI tenant mix like
+// "interactive:0.25,standard:0.25,best-effort:0.5".
+func ParseTenants(s string) ([]TenantSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var tenants []TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		name, share, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("serve: tenant %q must be class:share", part)
+		}
+		c, err := overload.ParseClass(name)
+		if err != nil {
+			return nil, err
+		}
+		var w float64
+		if _, err := fmt.Sscanf(share, "%g", &w); err != nil || w <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q share must be a positive number", part)
+		}
+		tenants = append(tenants, TenantSpec{Class: c, Share: w})
+	}
+	return tenants, nil
+}
+
+// TenantString renders a tenant mix in the ParseTenants syntax, the
+// deterministic identifier reports carry.
+func TenantString(tenants []TenantSpec) string {
+	if len(tenants) == 0 {
+		return ""
+	}
+	total := 0.0
+	for _, t := range tenants {
+		total += t.Share
+	}
+	parts := make([]string, len(tenants))
+	for i, t := range tenants {
+		parts[i] = fmt.Sprintf("%s:%.2f", t.Class, t.Share/total)
+	}
+	return strings.Join(parts, ",")
 }
 
 // Request is one serving request of a trace.
@@ -176,6 +270,11 @@ type Request struct {
 	// scheduler and the fleet router increment it, and a RetryPolicy
 	// bounds it.
 	Retries int
+	// Class is the tenant/priority class. The zero value is
+	// overload.Standard, so untagged traces keep their old meaning. The
+	// class travels with the request through every redispatch — a
+	// failover hand-off never changes who is paying for the work.
+	Class overload.Class
 }
 
 // Trace is a finite, arrival-ordered request schedule.
@@ -184,6 +283,7 @@ type Trace struct {
 	Rate     float64
 	Seed     int64
 	Lengths  string
+	Tenants  string
 	Requests []Request
 }
 
@@ -195,11 +295,13 @@ type TraceInfo struct {
 	Rate    float64
 	Seed    int64
 	Lengths string
+	// Tenants is the TenantString of the mix; "" for untagged traces.
+	Tenants string
 }
 
 // Info summarizes the trace for reports.
 func (t Trace) Info() TraceInfo {
-	return TraceInfo{Kind: t.Kind, Rate: t.Rate, Seed: t.Seed, Lengths: t.Lengths}
+	return TraceInfo{Kind: t.Kind, Rate: t.Rate, Seed: t.Seed, Lengths: t.Lengths, Tenants: t.Tenants}
 }
 
 // Stream yields a finite request schedule in arrival order, one request
@@ -267,6 +369,10 @@ func (t Trace) TotalTokens() (prompt, output int64) {
 // independent deterministic sources.
 const lengthSeedMix = 0x5bd1e995
 
+// tenantSeedMix decorrelates the tenant-class generator the same way;
+// tagging a trace with tenants changes no arrival time and no length.
+const tenantSeedMix = 0x9e3779b9
+
 // genStream draws requests lazily from the seeded generators — the
 // Stream behind NewStream. Memory is O(1) regardless of the configured
 // request count, so a million-request trace never materializes.
@@ -274,13 +380,17 @@ type genStream struct {
 	cfg  TraceConfig
 	arr  *rand.Rand // arrival process draws
 	lens *rand.Rand // length profile draws
+	cls  *rand.Rand // tenant class draws (only when Tenants is set)
 	next int        // next request ID
 	t    float64    // arrival clock, seconds
 
-	// Bursty (MMPP) phase state.
+	// Bursty (MMPP) and Flashcrowd phase state.
 	on              bool
 	phaseLeft       float64
 	onMean, offMean float64
+
+	// shares is the tenant mix as cumulative normalized shares.
+	shares []float64
 }
 
 // NewStream validates the config and returns the lazy seeded request
@@ -321,14 +431,54 @@ func NewStream(cfg TraceConfig) (Stream, error) {
 		if cfg.Swing < 0 || cfg.Swing >= 1 {
 			return nil, fmt.Errorf("serve: diurnal swing %g must be in [0,1)", cfg.Swing)
 		}
+	case Flashcrowd, Retrystorm:
+		if cfg.SurgeFactor == 0 {
+			cfg.SurgeFactor = 4
+		}
+		if cfg.SurgeFactor <= 1 {
+			return nil, fmt.Errorf("serve: surge factor %g must exceed 1", cfg.SurgeFactor)
+		}
+		if cfg.SurgeSpan == 0 {
+			cfg.SurgeSpan = 120
+		}
+		if cfg.SurgeSpan <= 0 {
+			return nil, fmt.Errorf("serve: surge span %g must be positive", cfg.SurgeSpan)
+		}
+		if cfg.SurgePeriod == 0 {
+			cfg.SurgePeriod = 600
+		}
+		if cfg.SurgePeriod <= 0 {
+			return nil, fmt.Errorf("serve: surge period %g must be positive", cfg.SurgePeriod)
+		}
 	default:
 		return nil, fmt.Errorf("serve: unknown trace kind %v", cfg.Kind)
+	}
+	total := 0.0
+	for _, t := range cfg.Tenants {
+		if t.Share <= 0 {
+			return nil, fmt.Errorf("serve: tenant %s share %g must be positive", t.Class, t.Share)
+		}
+		total += t.Share
 	}
 
 	g := &genStream{
 		cfg:  cfg,
 		arr:  rand.New(rand.NewSource(cfg.Seed)),
 		lens: rand.New(rand.NewSource(cfg.Seed ^ lengthSeedMix)),
+	}
+	if len(cfg.Tenants) > 0 {
+		g.cls = rand.New(rand.NewSource(cfg.Seed ^ tenantSeedMix))
+		acc := 0.0
+		for _, t := range cfg.Tenants {
+			acc += t.Share / total
+			g.shares = append(g.shares, acc)
+		}
+	}
+	if cfg.Kind == Flashcrowd {
+		// Start calm; phases alternate exp(SurgePeriod) calm with
+		// exp(SurgeSpan) surge, arrivals Poisson within each phase.
+		g.onMean, g.offMean = cfg.SurgeSpan, cfg.SurgePeriod
+		g.phaseLeft = g.arr.ExpFloat64() * g.offMean
 	}
 	if cfg.Kind == Bursty {
 		// Two-state MMPP. ON arrives at BurstFactor*Rate, OFF at
@@ -345,7 +495,10 @@ func NewStream(cfg TraceConfig) (Stream, error) {
 }
 
 func (g *genStream) Info() TraceInfo {
-	return TraceInfo{Kind: g.cfg.Kind, Rate: g.cfg.Rate, Seed: g.cfg.Seed, Lengths: g.cfg.Lengths.Name}
+	return TraceInfo{
+		Kind: g.cfg.Kind, Rate: g.cfg.Rate, Seed: g.cfg.Seed,
+		Lengths: g.cfg.Lengths.Name, Tenants: TenantString(g.cfg.Tenants),
+	}
 }
 
 func (g *genStream) Len() int { return g.cfg.Requests }
@@ -392,9 +545,56 @@ func (g *genStream) Next() (Request, bool) {
 				break
 			}
 		}
+	case Flashcrowd:
+		// Same phase mechanics as Bursty, but calm phases run at the
+		// full baseline rate (a flash crowd adds load, it does not
+		// borrow it from a trough).
+		for {
+			rate := g.cfg.Rate
+			if g.on {
+				rate = g.cfg.SurgeFactor * g.cfg.Rate
+			}
+			gap := g.arr.ExpFloat64() / rate
+			if gap < g.phaseLeft {
+				g.t += gap
+				g.phaseLeft -= gap
+				break
+			}
+			g.t += g.phaseLeft
+			g.on = !g.on
+			mean := g.offMean
+			if g.on {
+				mean = g.onMean
+			}
+			g.phaseLeft = g.arr.ExpFloat64() * mean
+		}
+	case Retrystorm:
+		// One deterministic step pulse: thinning against the surge
+		// envelope, with the instantaneous rate a step function of the
+		// clock.
+		peak := g.cfg.SurgeFactor * g.cfg.Rate
+		for {
+			g.t += g.arr.ExpFloat64() / peak
+			lambda := g.cfg.Rate
+			if g.t >= g.cfg.SurgePeriod && g.t < g.cfg.SurgePeriod+g.cfg.SurgeSpan {
+				lambda = peak
+			}
+			if g.arr.Float64()*peak <= lambda {
+				break
+			}
+		}
 	}
 	prompt, output := g.cfg.Lengths.draw(g.lens)
 	r := Request{ID: g.next, Arrival: g.t, Prompt: prompt, Output: output}
+	if g.cls != nil {
+		u := g.cls.Float64()
+		for i, cum := range g.shares {
+			if u <= cum || i == len(g.shares)-1 {
+				r.Class = g.cfg.Tenants[i].Class
+				break
+			}
+		}
+	}
 	g.next++
 	return r, true
 }
@@ -408,7 +608,7 @@ func NewTrace(cfg TraceConfig) (Trace, error) {
 		return Trace{}, err
 	}
 	info := src.Info()
-	tr := Trace{Kind: info.Kind, Rate: info.Rate, Seed: info.Seed, Lengths: info.Lengths}
+	tr := Trace{Kind: info.Kind, Rate: info.Rate, Seed: info.Seed, Lengths: info.Lengths, Tenants: info.Tenants}
 	tr.Requests = make([]Request, 0, src.Len())
 	for {
 		r, ok := src.Next()

@@ -35,6 +35,7 @@ import (
 	"mugi/internal/model"
 	"mugi/internal/noc"
 	"mugi/internal/nonlinear"
+	"mugi/internal/overload"
 	"mugi/internal/runner"
 	"mugi/internal/serve"
 	"mugi/internal/sim"
@@ -226,9 +227,11 @@ type TraceKind = serve.TraceKind
 
 // The arrival processes.
 const (
-	TracePoisson = serve.Poisson
-	TraceBursty  = serve.Bursty
-	TraceDiurnal = serve.Diurnal
+	TracePoisson    = serve.Poisson
+	TraceBursty     = serve.Bursty
+	TraceDiurnal    = serve.Diurnal
+	TraceFlashcrowd = serve.Flashcrowd
+	TraceRetrystorm = serve.Retrystorm
 )
 
 // TraceConfig parameterizes a synthetic request trace (arrival process,
@@ -526,6 +529,105 @@ type FleetDayCost = fleet.DayCost
 func PriceFleetDay(book PriceBook, d Design, mesh Mesh, replicas int, energyJ, horizonSeconds float64) (FleetDayCost, error) {
 	return fleet.PriceDay(book, d, mesh, replicas, energyJ, horizonSeconds)
 }
+
+// ---- Overload and the price of priority ----
+
+// TenantClass is a request's service class: interactive, standard, or
+// best-effort, in descending admission priority.
+type TenantClass = overload.Class
+
+// The tenant classes, and their count.
+const (
+	TenantInteractive = overload.Interactive
+	TenantStandard    = overload.Standard
+	TenantBestEffort  = overload.BestEffort
+	NumTenantClasses  = overload.NumClasses
+)
+
+// ParseTenantClass maps "interactive"/"standard"/"best-effort" to its
+// class.
+func ParseTenantClass(s string) (TenantClass, error) { return overload.ParseClass(s) }
+
+// TenantClasses lists every class in descending priority order.
+func TenantClasses() []TenantClass { return overload.Classes() }
+
+// TenantSpec is one class's share of a tenanted trace mix; set a slice
+// of them on TraceConfig.Tenants to tag requests. Tagging draws from a
+// decoupled RNG, so it never perturbs arrivals or lengths.
+type TenantSpec = serve.TenantSpec
+
+// ParseTenants parses a "class:share,class:share" mix string (shares
+// normalized; e.g. "interactive:0.3,standard:0.4,best-effort:0.3").
+func ParseTenants(s string) ([]TenantSpec, error) { return serve.ParseTenants(s) }
+
+// TenantString renders a tenant mix back to its flag syntax.
+func TenantString(tenants []TenantSpec) string { return serve.TenantString(tenants) }
+
+// ClassSLO is a per-class latency target (p99 TTFT and p99 end-to-end
+// seconds; zero bounds are unconstrained).
+type ClassSLO = overload.SLO
+
+// DefaultClassSLO returns the built-in latency target for a class.
+func DefaultClassSLO(c TenantClass) ClassSLO { return overload.DefaultSLO(c) }
+
+// ClassStats is one class's section of a serving or fleet report: fate
+// counters (Completed+Shed+Orphaned==Requests), token totals, and
+// latency percentiles.
+type ClassStats = serve.ClassStats
+
+// TokenBucket is one class's admission rate limit (sustained
+// requests/second plus burst capacity).
+type TokenBucket = overload.TokenBucket
+
+// AdmissionSpec arms the deterministic admission controller on
+// ServeConfig.Admission: per-class token buckets and strict-priority
+// queue eviction (arriving interactive work may evict queued
+// best-effort work, never the reverse). The zero value admits on
+// priority alone with no rate limits.
+type AdmissionSpec = overload.AdmissionSpec
+
+// BrownoutStep is one rung of the brownout ladder: a best-effort output
+// cap, a wider scheduler context bucket, and a DVFS downshift.
+type BrownoutStep = overload.BrownoutStep
+
+// BrownoutSpec arms graceful degradation on ServeConfig.Brownout: a
+// queue-depth-triggered ladder of BrownoutSteps with dwell-time
+// hysteresis.
+type BrownoutSpec = overload.BrownoutSpec
+
+// DefaultBrownoutSteps returns the built-in three-rung brownout ladder.
+func DefaultBrownoutSteps() []BrownoutStep { return overload.DefaultBrownoutSteps() }
+
+// ClientRetrySpec models retrying clients on ServeConfig.ClientRetry:
+// shed requests re-arrive after Backoff seconds, up to MaxAttempts
+// tries — the feedback loop behind retry-storm metastability.
+type ClientRetrySpec = overload.ClientRetrySpec
+
+// BreakerSpec arms a per-replica circuit breaker on
+// FleetConfig.Breaker: a replica whose recent-window downtime fraction
+// crosses Threshold is ejected from routing until a cooldown and a
+// half-open probe readmit it. Requires injected faults — the fault
+// schedule is the breaker's failure signal.
+type BreakerSpec = overload.BreakerSpec
+
+// PrioritySpec parameterizes the price-of-priority comparison: a
+// tenanted fleet with its isolation machinery against the same silicon
+// run as a shared best-effort fleet.
+type PrioritySpec = fleet.PrioritySpec
+
+// ClassPrice is one class's row of the price-of-priority sheet:
+// measured tails, SLO verdict, and token-proportional $/1k-requests.
+type ClassPrice = fleet.ClassPrice
+
+// PriorityResult is the full price-of-priority comparison: both fleet
+// reports, both TCOs, the per-class price sheet, and the isolation
+// premium (interactive $/1k over shared $/1k).
+type PriorityResult = fleet.PriorityResult
+
+// PlanPriority runs the tenanted fleet and its shared-baseline twin
+// over the same seeded probe and prices both. Deterministic at any
+// runner parallelism.
+func PlanPriority(spec PrioritySpec) (PriorityResult, error) { return fleet.PlanPriority(spec) }
 
 // ---- Carbon ----
 

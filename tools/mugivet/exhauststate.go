@@ -33,6 +33,9 @@ import (
 var exhaustiveTypes = []string{
 	"mugi/internal/autoscale.PowerState",
 	"mugi/internal/model.OpClass",
+	"mugi/internal/overload.Class",
+	"mugi/internal/overload.Decision",
+	"mugi/internal/overload.BreakerState",
 }
 
 // newExhauststate builds the exhauststate analyzer (tree-wide scope).

@@ -170,6 +170,7 @@ var deterministicPkgs = []string{
 	"mugi/internal/serve",
 	"mugi/internal/faults",
 	"mugi/internal/fleet",
+	"mugi/internal/overload",
 	"mugi/internal/autoscale",
 	"mugi/internal/runner",
 	"mugi/internal/experiments",
