@@ -8,7 +8,7 @@ GO ?= go
 # the same check the workflow runs.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json lint fmt doccheck docs-check analyze install-staticcheck ci
+.PHONY: build test race bench bench-json minuteserve minuteserve-json lint fmt doccheck docs-check analyze install-staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -20,19 +20,33 @@ race:
 	$(GO) test -race ./...
 
 # One iteration per benchmark: the smoke run CI executes, and the source
-# of the ms/artifact trajectory for BENCH_*.json snapshots.
+# of the ms/artifact trajectory recorded in BENCH.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # Regenerate the hot-path perf trajectory (ns/op + allocs/op for the VLP
 # GEMM, decode step, proxy loss, simulator pass, cold/warm serving runs,
 # the million-request streaming trace, the capacity search, the fleet
-# plan, and the faulty fleet week). Fails if any zero-allocation path
-# allocates or a
-# bounded-allocation serving path exceeds its budget. CI runs the same
-# emitter with -benchiters 1 as a smoke check.
+# plan, the faulty fleet week, and the MinuteServe scorer), appending
+# this build's measurements to the in-file history of BENCH.json. Fails
+# if any zero-allocation path allocates or a bounded-allocation serving
+# path exceeds its budget. CI runs the same emitter with -benchiters 1
+# as a smoke check.
 bench-json:
-	$(GO) run ./cmd/mugibench -json -benchfile BENCH_PR9.json
+	$(GO) run ./cmd/mugibench -json -benchfile BENCH.json
+
+# Gate the committed MinuteServe leaderboard golden: regenerate the
+# board under the fixed rules and require byte-equality with
+# MINUTESERVE.json (verification of the signature included). CI runs
+# this on every commit; a legitimate rules or entry change regenerates
+# the golden with `make minuteserve-json`.
+minuteserve:
+	$(GO) run ./cmd/mugibench -minuteserve -check MINUTESERVE.json
+
+# Regenerate and re-sign the committed leaderboard golden after a
+# deliberate rules or entry change (review the -diff before committing).
+minuteserve-json:
+	$(GO) run ./cmd/mugibench -minuteserve -report MINUTESERVE.json
 
 # Godoc coverage gate: every package and every exported facade symbol
 # documented. A prerequisite of both lint and docs-check; make dedupes
@@ -77,4 +91,4 @@ docs-check: doccheck
 	$(GO) run ./tools/docscheck
 
 ci: STRICT = 1
-ci: lint build race bench analyze docs-check
+ci: lint build race bench minuteserve analyze docs-check

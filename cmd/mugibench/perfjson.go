@@ -20,8 +20,8 @@ import (
 
 // The perf-trajectory emitter: -json times the functional-stack hot paths
 // (VLP GEMM, decode step, accuracy-proxy loss, simulator pass, serving
-// runs, capacity search, fleet plan) in-process and writes ns/op +
-// allocs/op as JSON,
+// runs, capacity search, fleet plan, MinuteServe scoring) in-process and
+// writes ns/op + allocs/op as JSON,
 // the cross-PR baseline future optimisation PRs regress against (the
 // external-sort tradition of publishing a measured perf trajectory rather
 // than a claim). Kernels marked zeroAlloc gate the exit status: any
@@ -38,33 +38,73 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_PR9.json schema.
-type benchFile struct {
-	Schema string `json:"schema"`
-	Go     string `json:"go"`
-	// Baseline carries the previous PR's recorded measurements (same
-	// shapes, same machine class) so the file documents the trajectory it
-	// gates, not just the current numbers.
-	Baseline   []benchRecord `json:"baseline_pr8"`
+// benchEntry is one PR's measurements in the trajectory history.
+type benchEntry struct {
+	Label      string        `json:"label"`
+	Go         string        `json:"go"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// baselinePR8 is the pre-PR trajectory: the measurements recorded in
-// BENCH_PR8.json at the PR 8 commit, carried forward so BENCH_PR9.json
-// stays self-contained. The flashcrowd_week kernel is new in PR 9 and
-// has no baseline entry.
-var baselinePR8 = []benchRecord{
-	{Name: "vlp_gemm_8x512x512", Iters: 78, NsPerOp: 1376391.6666666667, AllocsPerOp: 0},
-	{Name: "decode_step", Iters: 512, NsPerOp: 242908.470703125, AllocsPerOp: 0},
-	{Name: "proxy_loss", Iters: 14, NsPerOp: 7053603.428571428, AllocsPerOp: 0},
-	{Name: "simulate_decode", Iters: 2000, NsPerOp: 995.926, AllocsPerOp: 4},
-	{Name: "serve_poisson_cold", Iters: 219, NsPerOp: 472833.7762557078, AllocsPerOp: 374},
-	{Name: "serve_poisson_warm", Iters: 251, NsPerOp: 350516.50996015937, AllocsPerOp: 2},
-	{Name: "serve_1m_requests", Iters: 1, NsPerOp: 10785862597, AllocsPerOp: 6},
-	{Name: "capacity_search", Iters: 11, NsPerOp: 9166251.363636363, AllocsPerOp: 1589},
-	{Name: "autoscale_week", Iters: 1, NsPerOp: 2297576072, AllocsPerOp: 6798},
-	{Name: "fleet_faulty_week", Iters: 1, NsPerOp: 2203276031, AllocsPerOp: 1900},
-	{Name: "fleet_plan", Iters: 2, NsPerOp: 50396071.5, AllocsPerOp: 3614},
+// benchFile is the BENCH.json schema: the whole cross-PR perf trajectory
+// in one file, oldest history entry first. A -json run loads the
+// committed file, drops any stale entry for the current label, and
+// appends its own measurements — so the file accumulates the trajectory
+// instead of scattering it across BENCH_PR*.json snapshots.
+type benchFile struct {
+	Schema  string       `json:"schema"`
+	History []benchEntry `json:"history"`
+}
+
+const (
+	// benchSchema versions the consolidated trajectory file.
+	benchSchema = "mugi-perf-trajectory/3"
+	// benchLabel names the entry this build's -json run writes.
+	benchLabel = "pr10"
+)
+
+// fallbackHistory seeds the trajectory when the committed BENCH.json is
+// absent or predates the consolidated schema: the PR 9 measurements,
+// carried in-binary so a fresh checkout still writes a self-contained
+// file with at least one baseline to compare against.
+var fallbackHistory = []benchEntry{{
+	Label: "pr9",
+	Go:    "go1.24.0",
+	Benchmarks: []benchRecord{
+		{Name: "vlp_gemm_8x512x512", Iters: 72, NsPerOp: 1449296.7916666667, AllocsPerOp: 0},
+		{Name: "decode_step", Iters: 512, NsPerOp: 248791.291015625, AllocsPerOp: 0},
+		{Name: "proxy_loss", Iters: 14, NsPerOp: 7843396.357142857, AllocsPerOp: 0},
+		{Name: "simulate_decode", Iters: 2000, NsPerOp: 987.5005, AllocsPerOp: 4},
+		{Name: "serve_poisson_cold", Iters: 212, NsPerOp: 484402.7405660377, AllocsPerOp: 374},
+		{Name: "serve_poisson_warm", Iters: 305, NsPerOp: 355467.7901639344, AllocsPerOp: 2},
+		{Name: "serve_1m_requests", Iters: 1, NsPerOp: 10374287192, AllocsPerOp: 6},
+		{Name: "capacity_search", Iters: 11, NsPerOp: 8639739.090909092, AllocsPerOp: 1589},
+		{Name: "autoscale_week", Iters: 1, NsPerOp: 2301606551, AllocsPerOp: 6223},
+		{Name: "fleet_faulty_week", Iters: 1, NsPerOp: 2242027980, AllocsPerOp: 1901},
+		{Name: "flashcrowd_week", Iters: 1, NsPerOp: 1151909492, AllocsPerOp: 2250},
+		{Name: "fleet_plan", Iters: 2, NsPerOp: 42152914.5, AllocsPerOp: 3620},
+	},
+}}
+
+// loadHistory reads the committed trajectory from path, returning the
+// in-binary fallback when the file is missing or predates the
+// consolidated schema. Any stale entry for the current label is dropped
+// so re-runs replace their own measurements instead of stacking them.
+func loadHistory(path string) []benchEntry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fallbackHistory
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil || file.Schema != benchSchema {
+		return fallbackHistory
+	}
+	history := make([]benchEntry, 0, len(file.History))
+	for _, e := range file.History {
+		if e.Label != benchLabel {
+			history = append(history, e)
+		}
+	}
+	return history
 }
 
 // perfKernel is one measurable hot path.
@@ -201,6 +241,14 @@ func perfKernels() []perfKernel {
 	capSpec := mugi.CapacitySpec{
 		Trace: mugi.TraceConfig{Kind: mugi.TracePoisson, Requests: 48, Seed: 1},
 		Iters: 4,
+	}
+
+	// MinuteServe entry: one full benchmark scoring — SLO-bound capacity
+	// search, the scored minute, TCO pricing, artifact signing and
+	// verification — of the reference submission, cold cache.
+	msEntry, err := mugi.ParseMinuteServeEntry("mugi:4x4")
+	if err != nil {
+		panic(err)
 	}
 
 	// Fleet plan: the full planner over a 2-design x 2-mesh x {1,2}
@@ -449,6 +497,30 @@ func perfKernels() []perfKernel {
 			},
 		},
 		{
+			name: "minuteserve_entry",
+			// One scored entry is a capacity search (12 probes of 32
+			// requests) plus the scored minute, then signing and verifying
+			// the artifact. The scorer allocates per probe and per cache
+			// miss, never per request or scheduler step: the budget sits
+			// ~4x over the measured cold run (~1.2k allocs).
+			fixedIters:   1,
+			maxAllocRuns: 1,
+			maxAllocs:    5_000,
+			op: func() {
+				mugi.ResetSimCache()
+				rep, err := mugi.MinuteServe(msEntry)
+				if err != nil {
+					panic(err)
+				}
+				if !rep.Sustainable {
+					panic("minuteserve_entry scored unsustainable")
+				}
+				if err := mugi.VerifyReport(rep.Encode()); err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
 			name: "fleet_plan",
 			// The planner allocates per probe (routed schedules, reports,
 			// frontier copies) but never per scheduler step: the budget is
@@ -483,15 +555,16 @@ func seedFill(data []float32, std float64) {
 	}
 }
 
-// runPerfJSON executes the trajectory suite and writes the JSON file.
+// runPerfJSON executes the trajectory suite and writes the JSON file:
+// the committed history plus this run's measurements under benchLabel.
 // It returns an error if any zero-allocation path allocated.
 func runPerfJSON(path string, iters, parallel int) error {
 	runner.SetParallelism(parallel)
-	file := benchFile{Schema: "mugi-perf-trajectory/2", Go: runtime.Version(), Baseline: baselinePR8}
+	entry := benchEntry{Label: benchLabel, Go: runtime.Version()}
 	var regressions []string
 	for _, k := range perfKernels() {
 		rec := measure(k, iters)
-		file.Benchmarks = append(file.Benchmarks, rec)
+		entry.Benchmarks = append(entry.Benchmarks, rec)
 		status := ""
 		if (k.zeroAlloc && rec.AllocsPerOp > 0) ||
 			(k.maxAllocs > 0 && rec.AllocsPerOp > k.maxAllocs) {
@@ -501,6 +574,7 @@ func runPerfJSON(path string, iters, parallel int) error {
 		fmt.Fprintf(os.Stderr, "%-22s %12.0f ns/op %8.0f allocs/op%s\n",
 			rec.Name, rec.NsPerOp, rec.AllocsPerOp, status)
 	}
+	file := benchFile{Schema: benchSchema, History: append(loadHistory(path), entry)}
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err

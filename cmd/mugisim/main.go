@@ -714,26 +714,7 @@ func parseMeshes(csv string) []noc.Mesh {
 }
 
 func buildDesign(kind string, rows int) (arch.Design, error) {
-	switch strings.ToLower(kind) {
-	case "mugi":
-		return arch.Mugi(rows), nil
-	case "mugil", "mugi-l":
-		return arch.MugiL(rows), nil
-	case "carat":
-		return arch.Carat(rows), nil
-	case "sa":
-		return arch.SystolicArray(rows, false), nil
-	case "saf", "sa-f":
-		return arch.SystolicArray(rows, true), nil
-	case "sd":
-		return arch.SIMDArray(rows, false), nil
-	case "sdf", "sd-f":
-		return arch.SIMDArray(rows, true), nil
-	case "tensor":
-		return arch.TensorCore(), nil
-	default:
-		return arch.Design{}, fmt.Errorf("unknown design %q", kind)
-	}
+	return arch.ByName(kind, rows)
 }
 
 func parseMesh(s string) (noc.Mesh, error) {

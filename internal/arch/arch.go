@@ -7,7 +7,10 @@
 // 0.056 mm² placed-and-routed 8×8 node).
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind enumerates the design families.
 type Kind int
@@ -200,6 +203,38 @@ func TensorCore() Design {
 		Rows: 8, Cols: 16, Depth: 16,
 		NL: NLPrecise, NLLanes: 128, VectorLanes: 16,
 		SRAMKB: 1024,
+	}
+}
+
+// ByName builds a design from its CLI spelling ("mugi", "mugil", "carat",
+// "sa", "saf", "sd", "sdf", "tensor"; the fused variants also accept the
+// "-f"/"mugi-l" hyphenated forms). rows is the array height (ignored for
+// tensor); it must be positive for every other kind. This is the one
+// mapping every CLI and benchmark-entry parser shares.
+func ByName(kind string, rows int) (Design, error) {
+	k := strings.ToLower(kind)
+	if k != "tensor" && rows < 1 {
+		return Design{}, fmt.Errorf("arch: design %q needs a positive array dimension, got %d", kind, rows)
+	}
+	switch k {
+	case "mugi":
+		return Mugi(rows), nil
+	case "mugil", "mugi-l":
+		return MugiL(rows), nil
+	case "carat":
+		return Carat(rows), nil
+	case "sa":
+		return SystolicArray(rows, false), nil
+	case "saf", "sa-f":
+		return SystolicArray(rows, true), nil
+	case "sd":
+		return SIMDArray(rows, false), nil
+	case "sdf", "sd-f":
+		return SIMDArray(rows, true), nil
+	case "tensor":
+		return TensorCore(), nil
+	default:
+		return Design{}, fmt.Errorf("arch: unknown design %q (want mugi|mugil|carat|sa|saf|sd|sdf|tensor)", kind)
 	}
 }
 

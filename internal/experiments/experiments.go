@@ -73,6 +73,7 @@ func Registry() []Entry {
 		{"autoscale", "Extension: online autoscaling with DVFS power states", Autoscale},
 		{"faults", "Extension: fault injection and the price of nines", Faults},
 		{"overload", "Extension: graceful degradation under overload (flash crowds, retry storms, price of priority)", Overload},
+		{"minuteserve", "Extension: MinuteServe price-performance leaderboard (fixed rules, signed artifact)", MinuteServe},
 	}
 }
 

@@ -9,7 +9,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"fig4", "fig6", "fig7", "fig8", "fig11", "fig12",
 		"tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations",
 		"moe", "online", "serve", "capacity", "fleet", "autoscale", "faults",
-		"overload"}
+		"overload", "minuteserve"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -188,5 +188,26 @@ func TestOverloadContent(t *testing.T) {
 	}
 	if strings.Contains(out, "error:") {
 		t.Errorf("overload report contains an error row:\n%s", out)
+	}
+}
+
+// TestMinuteServeContent: the leaderboard experiment must render the
+// ranked table over every built-in entry, the cut-line rows, and a
+// passing self-verification (the artifact invariants live in
+// internal/minuteserve's own tests).
+func TestMinuteServeContent(t *testing.T) {
+	out := MinuteServe().String()
+	for _, needle := range []string{"MinuteServe leaderboard", "rules hash",
+		"req/$", "$/Mtok", "Mugi (256) 8x8", "Tensor 4x4", "rag",
+		"unsustainable under rules SLO", "board digest",
+		"artifact self-verifies"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("minuteserve report missing %q", needle)
+		}
+	}
+	for _, bad := range []string{"failed", "FAILED"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("minuteserve report contains %q:\n%s", bad, out)
+		}
 	}
 }

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+
+	"mugi/internal/minuteserve"
+)
+
+// MinuteServe regenerates the MinuteServe leaderboard: every built-in
+// entry scored under the fixed rules (Llama-2 7B, seeded poisson
+// arrivals, the standard-class SLO, one simulated minute at SLO-bound
+// capacity), ranked by requests served per dollar. The run ends by
+// verifying its own signed artifact — the same check `mugibench
+// -minuteserve -check` and CI gate the committed golden with.
+func MinuteServe() *Report {
+	r := &Report{ID: "minuteserve", Title: "MinuteServe price-performance leaderboard (fixed rules, signed artifact)"}
+	board, err := minuteserve.Leaderboard(minuteserve.Builtin())
+	if err != nil {
+		r.Printf("leaderboard failed: %v", err)
+		return r
+	}
+	r.Printf("%s", strings.TrimSuffix(board.String(), "\n"))
+	if err := minuteserve.Verify(board.Encode()); err != nil {
+		r.Printf("artifact self-verification FAILED: %v", err)
+		return r
+	}
+	r.Printf("artifact self-verifies: %d bytes, rules hash %.12s", len(board.Encode()), board.RulesHash)
+	return r
+}

@@ -1,0 +1,229 @@
+// The signed artifact layer: canonical JSON encoding, content-hash
+// signing, and verification. An artifact is valid only if (a) it decodes
+// strictly (unknown fields and trailing bytes rejected), (b) its bytes
+// are exactly the canonical re-encoding of the decoded value (so
+// reordered keys or reformatted whitespace fail even when the values
+// survive), (c) its rules hash matches the current rules (stale artifacts
+// fail), (d) its digest matches the SHA-256 of the canonical bytes with
+// the digest field blanked, and (e) its headline numbers re-derive from
+// its own minute report and TCO. Verification never re-runs the
+// simulation — it is cheap enough for CI to gate every commit on.
+
+package minuteserve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mugi/internal/fleet"
+	"mugi/internal/serve"
+)
+
+// Verification failure categories, matchable with errors.Is.
+var (
+	// ErrMalformed marks bytes that do not strictly decode as an artifact
+	// (bad JSON, unknown fields, trailing data, truncation).
+	ErrMalformed = errors.New("minuteserve: malformed artifact")
+	// ErrSchema marks an unknown or mismatched schema string.
+	ErrSchema = errors.New("minuteserve: unknown artifact schema")
+	// ErrNotCanonical marks bytes that decode but are not the canonical
+	// encoding of their value (reordered keys, reformatting).
+	ErrNotCanonical = errors.New("minuteserve: artifact bytes are not canonical")
+	// ErrStaleRules marks an artifact signed under different rules.
+	ErrStaleRules = errors.New("minuteserve: artifact rules hash is stale")
+	// ErrDigest marks a content-hash mismatch: the artifact was edited
+	// after signing.
+	ErrDigest = errors.New("minuteserve: artifact digest mismatch")
+	// ErrInconsistent marks headline numbers that do not re-derive from
+	// the artifact's own minute report and TCO.
+	ErrInconsistent = errors.New("minuteserve: headline numbers inconsistent with report")
+)
+
+// Report is the signed single-entry artifact (schema SchemaReport).
+type Report struct {
+	// Schema is SchemaReport.
+	Schema string `json:"schema"`
+	// RulesHash signs the fixed rules this report was scored under.
+	RulesHash string `json:"rules_hash"`
+	// Entry is the scored submission.
+	Entry Entry `json:"entry"`
+	// Sustainable reports whether the entry held the rules SLO at any
+	// probed rate; when false the scoring fields below are zero.
+	Sustainable bool `json:"sustainable"`
+	// Capacity is the SLO-bound sustained arrival rate (req/s) and
+	// Probes the serving runs the search spent finding it.
+	Capacity float64 `json:"capacity_req_per_s"`
+	Probes   int     `json:"probes"`
+	// Minute is the full serving report of the scored minute at capacity.
+	Minute serve.Report `json:"minute"`
+	// TCO is the fleet.Price breakdown of the minute's operating point.
+	TCO fleet.TCO `json:"tco"`
+	// ReqPerDollar is the headline: requests served per dollar of fleet
+	// burn in one simulated minute under the rules SLO.
+	ReqPerDollar float64 `json:"requests_per_dollar"`
+	// DollarsPerMTok is the second headline: $ per million generated
+	// tokens at sustained capacity.
+	DollarsPerMTok float64 `json:"dollars_per_mtok"`
+	// Digest is the hex SHA-256 of the canonical encoding with this
+	// field blanked.
+	Digest string `json:"digest"`
+}
+
+// Board is the signed leaderboard artifact (schema SchemaBoard): every
+// entry's full report in rank order, signed as a whole.
+type Board struct {
+	// Schema is SchemaBoard.
+	Schema string `json:"schema"`
+	// RulesHash signs the fixed rules every entry was scored under.
+	RulesHash string `json:"rules_hash"`
+	// Entries holds the per-entry reports in rank order (sustainable by
+	// descending requests per dollar, then unsustainable by ID).
+	Entries []Report `json:"entries"`
+	// Digest is the hex SHA-256 of the canonical encoding with this
+	// field blanked.
+	Digest string `json:"digest"`
+}
+
+// canonical is the one true artifact encoding: two-space-indented JSON in
+// struct field order with a trailing newline. encoding/json renders
+// floats shortest-round-trip and the structs contain no maps, so the
+// encoding is deterministic.
+func canonical(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// The artifact structs contain only marshalable fields; an error
+		// here is a programming bug, not an input condition.
+		panic(fmt.Sprintf("minuteserve: canonical encoding failed: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Encode renders the signed report artifact — the exact bytes Verify
+// accepts.
+func (r Report) Encode() []byte { return canonical(r) }
+
+// Encode renders the signed board artifact — the exact bytes Verify
+// accepts.
+func (b Board) Encode() []byte { return canonical(b) }
+
+// sign stamps the content digest: SHA-256 over the canonical encoding
+// with the digest field blanked.
+func (r *Report) sign() {
+	r.Digest = ""
+	r.Digest = sha256Hex(canonical(*r))
+}
+
+// sign stamps the board digest. Entry reports keep their own digests, so
+// the board digest covers them transitively.
+func (b *Board) sign() {
+	b.Digest = ""
+	b.Digest = sha256Hex(canonical(*b))
+}
+
+// sha256Hex is the artifact hash: hex-encoded SHA-256.
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// strictDecode unmarshals with unknown fields and trailing data rejected.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after artifact")
+	}
+	return nil
+}
+
+// Verify checks a serialized artifact (report or board) end to end:
+// strict decode, canonical bytes, current rules, content digest, and
+// headline re-derivation. It returns nil only for an artifact this
+// package signed under the current rules and nobody touched since. It
+// never panics on malformed input.
+func Verify(data []byte) error {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	switch probe.Schema {
+	case SchemaReport:
+		var r Report
+		if err := strictDecode(data, &r); err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if !bytes.Equal(canonical(r), data) {
+			return ErrNotCanonical
+		}
+		return verifyReport(&r)
+	case SchemaBoard:
+		var b Board
+		if err := strictDecode(data, &b); err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if !bytes.Equal(canonical(b), data) {
+			return ErrNotCanonical
+		}
+		if b.RulesHash != RulesHash() {
+			return fmt.Errorf("%w: board signed under %.12s, current rules are %.12s",
+				ErrStaleRules, b.RulesHash, RulesHash())
+		}
+		check := b
+		check.Digest = ""
+		if sha256Hex(canonical(check)) != b.Digest {
+			return fmt.Errorf("%w: board", ErrDigest)
+		}
+		for i := range b.Entries {
+			if err := verifyReport(&b.Entries[i]); err != nil {
+				return fmt.Errorf("entry %s: %w", b.Entries[i].Entry.ID(), err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %q", ErrSchema, probe.Schema)
+	}
+}
+
+// verifyReport checks one decoded report's schema, rules currency,
+// digest, and headline consistency (shared by the standalone and
+// in-board paths; the canonical-bytes check happens before this).
+func verifyReport(r *Report) error {
+	if r.Schema != SchemaReport {
+		return fmt.Errorf("%w: %q", ErrSchema, r.Schema)
+	}
+	if r.RulesHash != RulesHash() {
+		return fmt.Errorf("%w: report signed under %.12s, current rules are %.12s",
+			ErrStaleRules, r.RulesHash, RulesHash())
+	}
+	check := *r
+	check.Digest = ""
+	if sha256Hex(canonical(check)) != r.Digest {
+		return fmt.Errorf("%w: entry %s", ErrDigest, r.Entry.ID())
+	}
+	if err := r.Entry.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInconsistent, err)
+	}
+	if r.Sustainable {
+		if want := headline(r.Minute.Completed, r.TCO); r.ReqPerDollar != want {
+			return fmt.Errorf("%w: requests_per_dollar %v, re-derived %v", ErrInconsistent, r.ReqPerDollar, want)
+		}
+		if r.DollarsPerMTok != r.TCO.DollarsPerMTok {
+			return fmt.Errorf("%w: dollars_per_mtok %v, TCO says %v", ErrInconsistent, r.DollarsPerMTok, r.TCO.DollarsPerMTok)
+		}
+		if r.Capacity <= 0 {
+			return fmt.Errorf("%w: sustainable with capacity %v", ErrInconsistent, r.Capacity)
+		}
+	} else if r.Capacity != 0 || r.ReqPerDollar != 0 || r.DollarsPerMTok != 0 {
+		return fmt.Errorf("%w: unsustainable entry carries scores", ErrInconsistent)
+	}
+	return nil
+}

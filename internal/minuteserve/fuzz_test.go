@@ -1,0 +1,44 @@
+package minuteserve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVerify is the report-decoder fuzz target: Verify (and the diff
+// decoder behind it) must never panic on arbitrary bytes — it either
+// accepts a well-signed artifact or returns an error. The corpus seeds
+// real signed artifacts (report, board, unsustainable report) plus the
+// shapes the corruption table exercises.
+func FuzzVerify(f *testing.F) {
+	rep, err := Run(unsustainableEntry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := rep.Encode()
+	board, err := Leaderboard([]Entry{unsustainableEntry()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":"minuteserve/v1"}`))
+	f.Add([]byte(`{"schema":"minuteserve-board/v1","entries":null}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"minuteserve/v1"`))
+	f.Add(good)
+	f.Add(board.Encode())
+	f.Add(good[:len(good)/2])
+	f.Add(bytes.Replace(good, []byte("true"), []byte("null"), -1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := Verify(data) // must not panic
+		if err == nil {
+			// Anything Verify accepts must be canonical enough to diff
+			// against itself without error.
+			if _, derr := Diff(data, data); derr != nil {
+				t.Fatalf("verified artifact fails self-diff: %v", derr)
+			}
+		}
+		_, _ = Diff(data, good) // must not panic either
+	})
+}

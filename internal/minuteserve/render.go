@@ -1,0 +1,182 @@
+// Renderings: the ranked leaderboard table, the single-entry summary,
+// and the per-axis diff of two artifacts. All output is deterministic —
+// fixed-width columns, no map iteration, no wall clock.
+
+package minuteserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Summary renders the one-entry result card (the -entry CLI output).
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry:   %s  (%s)\n", r.Entry.Display(), r.Entry.ID())
+	fmt.Fprintf(&b, "rules:   %s  hash %.12s\n", r.Schema, r.RulesHash)
+	if !r.Sustainable {
+		fmt.Fprintf(&b, "result:  unsustainable under the rules SLO (p99 TTFT <= %gs, p99 latency <= %gs) after %d probes\n",
+			TTFTP99, LatencyP99, r.Probes)
+		fmt.Fprintf(&b, "digest:  %.12s\n", r.Digest)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "capacity: %.4f req/s (%d probes), minute served %d/%d requests\n",
+		r.Capacity, r.Probes, r.Minute.Completed, r.Minute.Requests)
+	fmt.Fprintf(&b, "headline: %.1f requests/$ in one minute   $%.4f/Mtok at capacity\n",
+		r.ReqPerDollar, r.DollarsPerMTok)
+	fmt.Fprintf(&b, "tails:   TTFT p99 %.2fs   latency p99 %.2fs\n", r.Minute.TTFT.P99, r.Minute.Latency.P99)
+	fmt.Fprintf(&b, "burn:    $%.6f/h fleet  (%.1f W avg)\n", r.TCO.DollarsPerHour, r.TCO.AvgWatts)
+	fmt.Fprintf(&b, "digest:  %.12s\n", r.Digest)
+	return b.String()
+}
+
+// String renders the ranked leaderboard table.
+func (b Board) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "MinuteServe leaderboard — fixed rules %s, hash %.12s\n", SchemaReport, b.RulesHash)
+	fmt.Fprintf(&s, "slo p99 TTFT <= %gs, p99 latency <= %gs; %s; seeded poisson minute at capacity\n",
+		TTFTP99, LatencyP99, RulesModel().Name)
+	fmt.Fprintf(&s, "%4s %-26s %9s %8s %9s %9s %9s %9s\n",
+		"rank", "entry", "cap r/s", "req/min", "req/$", "$/Mtok", "TTFT p99", "$/hour")
+	rank := 0
+	for _, r := range b.Entries {
+		if !r.Sustainable {
+			fmt.Fprintf(&s, "%4s %-26s  unsustainable under rules SLO (%d probes)\n", "-", r.Entry.Display(), r.Probes)
+			continue
+		}
+		rank++
+		fmt.Fprintf(&s, "%4d %-26s %9.4f %8d %9.1f %9.4f %8.2fs %9.6f\n",
+			rank, r.Entry.Display(), r.Capacity, r.Minute.Completed,
+			r.ReqPerDollar, r.DollarsPerMTok, r.Minute.TTFT.P99, r.TCO.DollarsPerHour)
+	}
+	fmt.Fprintf(&s, "board digest %.12s\n", b.Digest)
+	return s.String()
+}
+
+// decodeReports strictly decodes an artifact (report or board) into its
+// report list for diffing, also returning its rules hash. Unlike Verify
+// it accepts stale rules — diffing an old artifact against a new one is
+// exactly how a rules change is audited — but it still requires strict,
+// canonical, digest-valid bytes.
+func decodeReports(data []byte) ([]Report, string, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	switch probe.Schema {
+	case SchemaReport:
+		var r Report
+		if err := strictDecode(data, &r); err != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if !bytes.Equal(canonical(r), data) {
+			return nil, "", ErrNotCanonical
+		}
+		check := r
+		check.Digest = ""
+		if sha256Hex(canonical(check)) != r.Digest {
+			return nil, "", fmt.Errorf("%w: entry %s", ErrDigest, r.Entry.ID())
+		}
+		return []Report{r}, r.RulesHash, nil
+	case SchemaBoard:
+		var b Board
+		if err := strictDecode(data, &b); err != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if !bytes.Equal(canonical(b), data) {
+			return nil, "", ErrNotCanonical
+		}
+		check := b
+		check.Digest = ""
+		if sha256Hex(canonical(check)) != b.Digest {
+			return nil, "", fmt.Errorf("%w: board", ErrDigest)
+		}
+		return b.Entries, b.RulesHash, nil
+	default:
+		return nil, "", fmt.Errorf("%w: %q", ErrSchema, probe.Schema)
+	}
+}
+
+// findReport locates an entry ID in a report list (nil if absent).
+func findReport(reports []Report, id string) *Report {
+	for i := range reports {
+		if reports[i].Entry.ID() == id {
+			return &reports[i]
+		}
+	}
+	return nil
+}
+
+// pct renders a relative change as a signed percentage.
+func pct(from, to float64) string {
+	if from == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (to-from)/from*100)
+}
+
+// Diff compares two artifacts (reports or boards) per axis: rules hash,
+// entry membership, and for every shared entry the capacity and both
+// headline numbers. Both inputs must be digest-valid, but unlike Verify
+// a stale rules hash is reported, not rejected — diffing across a rules
+// change is the audit trail for it.
+func Diff(a, c []byte) (string, error) {
+	ra, hashA, err := decodeReports(a)
+	if err != nil {
+		return "", fmt.Errorf("first artifact: %w", err)
+	}
+	rb, hashB, err := decodeReports(c)
+	if err != nil {
+		return "", fmt.Errorf("second artifact: %w", err)
+	}
+	var s strings.Builder
+	if hashA != hashB {
+		fmt.Fprintf(&s, "rules hash CHANGED: %.12s -> %.12s (headline numbers are not comparable across rules)\n", hashA, hashB)
+	} else {
+		fmt.Fprintf(&s, "rules hash %.12s (same)\n", hashA)
+	}
+	changed := 0
+	for i := range ra {
+		id := ra[i].Entry.ID()
+		after := findReport(rb, id)
+		if after == nil {
+			fmt.Fprintf(&s, "%-26s removed\n", id)
+			changed++
+			continue
+		}
+		before := &ra[i]
+		if before.Digest == after.Digest {
+			continue
+		}
+		changed++
+		switch {
+		case before.Sustainable && !after.Sustainable:
+			fmt.Fprintf(&s, "%-26s REGRESSED to unsustainable (was %.4f req/s)\n", id, before.Capacity)
+		case !before.Sustainable && after.Sustainable:
+			fmt.Fprintf(&s, "%-26s now sustainable: %.4f req/s, %.1f req/$\n", id, after.Capacity, after.ReqPerDollar)
+		case !before.Sustainable && !after.Sustainable:
+			fmt.Fprintf(&s, "%-26s still unsustainable (report bytes changed)\n", id)
+		default:
+			fmt.Fprintf(&s, "%-26s capacity %.4f -> %.4f (%s)  req/$ %.1f -> %.1f (%s)  $/Mtok %.4f -> %.4f (%s)\n",
+				id,
+				before.Capacity, after.Capacity, pct(before.Capacity, after.Capacity),
+				before.ReqPerDollar, after.ReqPerDollar, pct(before.ReqPerDollar, after.ReqPerDollar),
+				before.DollarsPerMTok, after.DollarsPerMTok, pct(before.DollarsPerMTok, after.DollarsPerMTok))
+		}
+	}
+	for i := range rb {
+		id := rb[i].Entry.ID()
+		if findReport(ra, id) == nil {
+			fmt.Fprintf(&s, "%-26s added: %.1f req/$\n", id, rb[i].ReqPerDollar)
+			changed++
+		}
+	}
+	if changed == 0 {
+		s.WriteString("no per-entry changes\n")
+	}
+	return s.String(), nil
+}

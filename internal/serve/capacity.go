@@ -51,6 +51,12 @@ type CapacitySpec struct {
 	// Iters is the bisection count after geometric bracketing (default
 	// DefaultCapacityIters).
 	Iters int
+	// TTFTP99 and LatencyP99, when positive, additionally require each
+	// probe's p99 tail (seconds) to hold the bound — the SLO-bound
+	// capacity search a MinuteServe entry is scored by. Zero disables a
+	// bound, leaving the pure goodput criterion byte-identical to earlier
+	// releases.
+	TTFTP99, LatencyP99 float64
 }
 
 // withDefaults materializes the zero-value defaults.
@@ -116,7 +122,14 @@ func FindCapacity(cfg Config, spec CapacitySpec) (CapacityResult, error) {
 		if err != nil {
 			return Report{}, false, err
 		}
-		return rep, rep.SustainedRate >= spec.Goodput*rep.OfferedRate, nil
+		pass := rep.SustainedRate >= spec.Goodput*rep.OfferedRate
+		if spec.TTFTP99 > 0 && rep.TTFT.P99 > spec.TTFTP99 {
+			pass = false
+		}
+		if spec.LatencyP99 > 0 && rep.Latency.P99 > spec.LatencyP99 {
+			pass = false
+		}
+		return rep, pass, nil
 	}
 
 	rep, ok, err := probe(spec.MinRate)

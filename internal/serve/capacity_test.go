@@ -90,6 +90,49 @@ func TestFindCapacityValidates(t *testing.T) {
 	}
 }
 
+// TestFindCapacitySLOBounds covers the SLO-extended search MinuteServe
+// entries are scored by: a bound loose enough never to trip leaves the
+// pure-goodput result identical, a finite tail bound can only lower
+// capacity and the capacity probe holds it, and an impossible bound
+// reports unsustainable (capacity 0) instead of erroring.
+func TestFindCapacitySLOBounds(t *testing.T) {
+	base, err := FindCapacity(baseConfig(), capSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := capSpec()
+	loose.TTFTP99, loose.LatencyP99 = 1e6, 1e6
+	if res, err := FindCapacity(baseConfig(), loose); err != nil {
+		t.Fatal(err)
+	} else if res.Capacity != base.Capacity || res.Probes != base.Probes {
+		t.Errorf("untripped SLO changed the search: %.6f/%d vs %.6f/%d",
+			res.Capacity, res.Probes, base.Capacity, base.Probes)
+	}
+	tight := capSpec()
+	tight.TTFTP99 = base.AtCapacity.TTFT.P99 * 0.5
+	bounded, err := FindCapacity(baseConfig(), tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Capacity >= base.Capacity {
+		t.Errorf("tail bound did not lower capacity: %.6f >= %.6f",
+			bounded.Capacity, base.Capacity)
+	}
+	if bounded.Capacity > 0 && bounded.AtCapacity.TTFT.P99 > tight.TTFTP99 {
+		t.Errorf("capacity probe violates its own bound: TTFT p99 %.4f > %.4f",
+			bounded.AtCapacity.TTFT.P99, tight.TTFTP99)
+	}
+	impossible := capSpec()
+	impossible.TTFTP99 = 1e-9
+	res, err := FindCapacity(baseConfig(), impossible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 0 {
+		t.Errorf("impossible bound should be unsustainable, got %.6f", res.Capacity)
+	}
+}
+
 // TestSearchCapacityDeterministicAtAnyParallelism is the engine's
 // acceptance guarantee: the sharded grid search renders byte-identical
 // results whether cells run serially or across eight workers.

@@ -122,6 +122,72 @@ func TestHistogramEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundaryRanks pins quantiles whose nearest rank falls
+// exactly on, and one past, a bucket boundary against the exact
+// nearest-rank reference. Samples sit at bucket midpoints so the grid
+// resolution is exact and the comparison is bit-for-bit.
+func TestHistogramBoundaryRanks(t *testing.T) {
+	lo, hi := histValue(900), histValue(901)
+	for _, tc := range []struct {
+		name     string
+		nLo, nHi int
+	}{
+		// p50's rank (50) is the last low-bucket sample.
+		{"rank on boundary", 50, 50},
+		// p50's rank (50) is the first high-bucket sample.
+		{"rank past boundary", 49, 51},
+	} {
+		xs := make([]float64, 0, tc.nLo+tc.nHi)
+		for i := 0; i < tc.nLo; i++ {
+			xs = append(xs, lo)
+		}
+		for i := 0; i < tc.nHi; i++ {
+			xs = append(xs, hi)
+		}
+		got := histFrom(xs).Percentiles()
+		want := exactPercentiles(xs)
+		if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+			t.Errorf("%s: hist p50/p95/p99 %g/%g/%g vs exact %g/%g/%g",
+				tc.name, got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+		}
+	}
+}
+
+// TestHistogramCountOverflow: populations past uint32 (the per-bucket
+// counter width) must still rank correctly — the cumulative walk in
+// Percentiles runs in int64, so two full buckets of math.MaxUint32
+// samples each resolve their quantiles without wrapping. Built by direct
+// construction; feeding 8.6 billion Add calls is not a unit test.
+func TestHistogramCountOverflow(t *testing.T) {
+	const full = math.MaxUint32
+	a := histBucket(1.0)
+	lo, hi := histValue(a), histValue(a+1)
+	var h Hist
+	h.counts[a] = full
+	h.counts[a+1] = full
+	h.n = 2 * int64(full)
+	h.min, h.max = lo, hi
+	h.sum = lo*float64(full) + hi*float64(full)
+
+	p := h.Percentiles()
+	if p.Count != h.n {
+		t.Fatalf("count %d, want %d", p.Count, h.n)
+	}
+	// p50's nearest rank is exactly the last sample of the low bucket —
+	// the boundary case at uint32 scale — while p95/p99 land in the high
+	// bucket. A uint32 walk would wrap at the boundary and misrank all
+	// three.
+	if p.P50 != lo {
+		t.Errorf("p50 %g, want low-bucket midpoint %g", p.P50, lo)
+	}
+	if p.P95 != hi || p.P99 != hi {
+		t.Errorf("p95/p99 %g/%g, want high-bucket midpoint %g", p.P95, p.P99, hi)
+	}
+	if p.Max != hi {
+		t.Errorf("max %g, want %g", p.Max, hi)
+	}
+}
+
 // TestHistogramMonotone: quantile ordering must survive the grid.
 func TestHistogramMonotone(t *testing.T) {
 	tr, err := NewTrace(TraceConfig{Kind: Bursty, Rate: 2, Requests: 300, Seed: 9})

@@ -1,0 +1,64 @@
+package mugi
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"mugi/internal/minuteserve"
+)
+
+// TestMinuteServeGoldenCurrent is the repository-level golden gate (the
+// test-side twin of `mugibench -minuteserve -check`): the committed
+// MINUTESERVE.json must verify under the current rules, and regenerating
+// the leaderboard must reproduce it byte for byte. A legitimate rules or
+// entry change regenerates the golden with `make minuteserve-json`.
+func TestMinuteServeGoldenCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full leaderboard in -short mode")
+	}
+	want, err := os.ReadFile("MINUTESERVE.json")
+	if err != nil {
+		t.Fatalf("committed golden missing: %v", err)
+	}
+	if err := VerifyReport(want); err != nil {
+		t.Fatalf("committed golden fails verification: %v", err)
+	}
+	board, err := Leaderboard(MinuteServeEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := board.Encode(); !bytes.Equal(got, want) {
+		delta, derr := DiffReports(want, got)
+		if derr != nil {
+			delta = "(diff unavailable: " + derr.Error() + ")"
+		}
+		t.Errorf("leaderboard drifted from committed golden:\n%s", delta)
+	}
+	// The golden must also reject tampering through the facade.
+	bad := bytes.Replace(want, []byte(`"schema": "minuteserve/v1"`),
+		[]byte(`"schema": "minuteserve/v2"`), 1)
+	if err := VerifyReport(bad); err == nil {
+		t.Error("tampered golden passed verification")
+	}
+	// And a stale-rules artifact must fail as stale, not as valid.
+	stale := bytes.Replace(want, []byte(board.RulesHash), []byte(flipHexByte(board.RulesHash)), -1)
+	err = VerifyReport(stale)
+	if err == nil {
+		t.Error("stale-rules golden passed verification")
+	} else if !errors.Is(err, minuteserve.ErrStaleRules) && !errors.Is(err, minuteserve.ErrDigest) {
+		t.Errorf("stale-rules golden failed with unexpected category: %v", err)
+	}
+}
+
+// flipHexByte flips the first hex digit of a hash string.
+func flipHexByte(s string) string {
+	b := []byte(s)
+	if b[0] == '0' {
+		b[0] = '1'
+	} else {
+		b[0] = '0'
+	}
+	return string(b)
+}

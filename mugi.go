@@ -32,6 +32,7 @@ import (
 	"mugi/internal/faults"
 	"mugi/internal/fleet"
 	"mugi/internal/infer"
+	"mugi/internal/minuteserve"
 	"mugi/internal/model"
 	"mugi/internal/noc"
 	"mugi/internal/nonlinear"
@@ -628,6 +629,64 @@ type PriorityResult = fleet.PriorityResult
 // over the same seeded probe and prices both. Deterministic at any
 // runner parallelism.
 func PlanPriority(spec PrioritySpec) (PriorityResult, error) { return fleet.PlanPriority(spec) }
+
+// ---- MinuteServe benchmark ----
+
+// MinuteServeEntry is one benchmark submission: what a competitor may
+// choose (design, array size, mesh, replica count, traffic profile).
+// Everything else — model, arrivals, seed, SLO, prices — is fixed by the
+// rules.
+type MinuteServeEntry = minuteserve.Entry
+
+// MinuteServeReport is the signed single-entry artifact: the entry, its
+// SLO-bound capacity, the full report of the scored minute, the TCO, and
+// the two headline numbers, content-hash signed.
+type MinuteServeReport = minuteserve.Report
+
+// MinuteServeBoard is the signed leaderboard artifact: every entry's
+// report in rank order, signed as a whole.
+type MinuteServeBoard = minuteserve.Board
+
+// MinuteServe scores one entry under the fixed rules: find its SLO-bound
+// capacity, serve one simulated minute at that rate, price it, and sign
+// the report. Deterministic at any runner parallelism.
+func MinuteServe(e MinuteServeEntry) (MinuteServeReport, error) { return minuteserve.Run(e) }
+
+// Leaderboard scores every entry (sharded across the runner pool) and
+// ranks the sustainable ones by requests served per dollar. The board is
+// byte-identical at any parallelism.
+func Leaderboard(entries []MinuteServeEntry) (MinuteServeBoard, error) {
+	return minuteserve.Leaderboard(entries)
+}
+
+// MinuteServeEntries lists the built-in leaderboard entries.
+func MinuteServeEntries() []MinuteServeEntry { return minuteserve.Builtin() }
+
+// ParseMinuteServeEntry parses the CLI entry syntax
+// "kind[@rows]:RxC[:replicas][:profile]" (e.g. "mugi:4x4",
+// "mugi@128:2x2:2:rag").
+func ParseMinuteServeEntry(s string) (MinuteServeEntry, error) { return minuteserve.ParseEntry(s) }
+
+// VerifyReport checks a serialized MinuteServe artifact (report or
+// board) end to end: strict decode, canonical bytes, current rules,
+// content digest, and headline re-derivation. It returns nil only for an
+// artifact the benchmark signed under the current rules and nobody
+// touched since.
+func VerifyReport(data []byte) error { return minuteserve.Verify(data) }
+
+// DiffReports compares two MinuteServe artifacts per axis: rules hash,
+// entry membership, and each shared entry's capacity and headline
+// numbers. Both inputs must be digest-valid; stale rules are reported,
+// not rejected.
+func DiffReports(a, b []byte) (string, error) { return minuteserve.Diff(a, b) }
+
+// MinuteServeRules renders the benchmark's fixed rules sheet; its hash
+// (MinuteServeRulesHash) signs every artifact.
+func MinuteServeRules() string { return minuteserve.Rules() }
+
+// MinuteServeRulesHash is the SHA-256 of the rules sheet; artifacts
+// signed under different rules fail verification as stale.
+func MinuteServeRulesHash() string { return minuteserve.RulesHash() }
 
 // ---- Carbon ----
 

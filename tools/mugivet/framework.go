@@ -172,6 +172,7 @@ var deterministicPkgs = []string{
 	"mugi/internal/fleet",
 	"mugi/internal/overload",
 	"mugi/internal/autoscale",
+	"mugi/internal/minuteserve",
 	"mugi/internal/runner",
 	"mugi/internal/experiments",
 	"mugi/internal/dist",
